@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses.
+ */
+#ifndef FINESSE_BENCH_BENCH_COMMON_H_
+#define FINESSE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "support/table.h"
+
+namespace finesse {
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    std::ostringstream os;
+    os.precision(prec);
+    os << std::fixed << v;
+    return os.str();
+}
+
+inline std::string
+fmtK(double v, int prec = 1)
+{
+    if (v >= 1e6)
+        return fmt(v / 1e6, prec) + "M";
+    if (v >= 1e3)
+        return fmt(v / 1e3, prec) + "k";
+    return fmt(v, prec);
+}
+
+/** Quick-run mode: FINESSE_FAST=1 restricts sweeps for smoke testing. */
+inline bool
+fastMode()
+{
+    const char *env = std::getenv("FINESSE_FAST");
+    return env && env[0] == '1';
+}
+
+inline void
+banner(const char *title)
+{
+    std::printf("\n=== %s ===\n\n", title);
+}
+
+} // namespace finesse
+
+#endif // FINESSE_BENCH_BENCH_COMMON_H_

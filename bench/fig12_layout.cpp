@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 12 reproduction: quad-core chip summary (the paper shows the
+ * physical layout; we reproduce the summary table from the same design
+ * point: area, gate count, SRAM capacity, frequency, pairing delay and
+ * throughput).
+ */
+#include "bench_common.h"
+#include "dse/explorer.h"
+
+using namespace finesse;
+
+int
+main()
+{
+    banner("Figure 12: quad-core chip summary (BN254N)");
+    Framework fw("BN254N");
+    const CompileResult res = fw.compile(CompileOptions{});
+    const CycleStats sim = simulateCycles(res.prog);
+    const AreaReport area = fw.area(res, 4);
+    TimingModel timing;
+    const int bits = fw.info().logP();
+    const double mhz = timing.frequencyMHz(bits, 38);
+    const double delayUs = double(sim.totalCycles) / mhz;
+    const double kops = 4 * mhz * 1e3 / double(sim.totalCycles);
+
+    // Logic gates: everything that is not a memory macro.
+    const double logicMm2 =
+        4 * (area.mmulArea + area.aluOther) + area.otherArea;
+    const double gatesK = logicMm2 * 1e6 / AreaModel::kNand2Um2 / 1e3;
+    // SRAM capacity: IMem + 4x DMem.
+    size_t dmemWords = 0;
+    for (i32 w : res.prog.regs.maxRegsPerBank)
+        dmemWords += static_cast<size_t>(w);
+    const double sramKiB =
+        (double(res.binary.imemBits()) +
+         4.0 * double(dmemWords) * bits) /
+        8.0 / 1024.0;
+
+    TextTable t;
+    t.header({"Item", "Value", "Paper (40nm LP)"});
+    t.row({"Technology", "40nm LP (model)", "40nm LP"});
+    t.row({"Typical Voltage", "1.1V", "1.1V"});
+    t.row({"Area", fmt(area.totalArea, 3) + " mm^2", "7.992 mm^2"});
+    t.row({"Gate Count (logic)", fmt(gatesK, 1) + "k NAND2",
+           "3558.9k NAND2"});
+    t.row({"SRAM Size", fmt(sramKiB, 0) + " KiB", "272 KiB"});
+    t.row({"Frequency", fmt(mhz, 0) + " MHz", "833 MHz"});
+    t.row({"Pairing Curve", "BN254N", "BN254N"});
+    t.row({"Pairing Delay", fmt(delayUs, 1) + " us", "76.3 us"});
+    t.row({"Pairing Throughput", fmt(kops, 1) + " kops", "52.4 kops"});
+    t.print();
+    return 0;
+}

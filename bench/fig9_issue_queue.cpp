@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9 reproduction: issue-queue waterfall before/after scheduling
+ * and issue-slot affinity optimization. For each curve, a window of the
+ * issue stream starting at cycle 10,000 is rendered: 'L' = Long (mul)
+ * issue, 'S' = Short (linear) issue, '.' = bubble.
+ */
+#include "bench_common.h"
+#include "dse/explorer.h"
+
+using namespace finesse;
+
+namespace {
+
+std::string
+renderWindow(const CycleStats &stats, i64 start, i64 len)
+{
+    std::string line(static_cast<size_t>(len), '.');
+    for (const IssueSample &s : stats.window) {
+        const i64 off = s.cycle - start;
+        if (off < 0 || off >= len)
+            continue;
+        char c = '.';
+        if (s.longOps && s.shortOps)
+            c = '*'; // VLIW slot with both
+        else if (s.longOps)
+            c = 'L';
+        else if (s.shortOps)
+            c = 'S';
+        else if (s.invOps)
+            c = 'I';
+        line[static_cast<size_t>(off)] = c;
+    }
+    return line;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 9: issue queue before/after scheduling + affinity");
+    const i64 kStart = 10000;
+    const i64 kLen = 72;
+
+    std::vector<std::string> names;
+    for (const CurveDef &def : curveCatalog())
+        names.push_back(def.name);
+    if (fastMode())
+        names = {"BN254N"};
+
+    std::printf("window: cycles %lld..%lld; L=Long issue, S=Short "
+                "issue, .=bubble\n\n",
+                static_cast<long long>(kStart),
+                static_cast<long long>(kStart + kLen - 1));
+
+    TextTable summary;
+    summary.header({"Curve", "IPC before", "IPC after", "bubbles before",
+                    "bubbles after"});
+    for (const std::string &name : names) {
+        Framework fw(name);
+        CompileOptions before;
+        before.optimize = true;
+        before.listSchedule = false;
+        CompileOptions after;
+        const CompileResult rb = fw.compile(before);
+        const CompileResult ra = fw.compile(after);
+        const CycleStats sb = simulateCycles(rb.prog, kStart, kLen);
+        const CycleStats sa = simulateCycles(ra.prog, kStart, kLen);
+
+        std::printf("%-10s before %s\n", name.c_str(),
+                    renderWindow(sb, kStart, kLen).c_str());
+        std::printf("%-10s after  %s\n\n", name.c_str(),
+                    renderWindow(sa, kStart, kLen).c_str());
+        summary.row({name, fmt(sb.ipc()), fmt(sa.ipc()),
+                     fmtK(double(sb.bubbles)), fmtK(double(sa.bubbles))});
+    }
+    summary.print();
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Microbenchmarks of the native operator kit (google-benchmark),
+ * supporting the cost hierarchy of Table 3: extension-field
+ * multiplication/squaring costs across tower levels, point operations,
+ * Miller loop and final exponentiation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "pairing/cache.h"
+
+namespace finesse {
+namespace {
+
+Rng gRng(77);
+
+const CurveSystem12 &
+bn254()
+{
+    return curveSystem12("BN254N");
+}
+
+Fp
+randFp(const FpCtx *ctx, const BigInt &p)
+{
+    return Fp::fromBig(ctx, BigInt::randomBelow(gRng, p));
+}
+
+template <typename F>
+F
+randElem(const typename F::Ctx *ctx, const FpCtx *fp, const BigInt &p,
+         int coeffs)
+{
+    std::vector<BigInt> v;
+    for (int i = 0; i < coeffs; ++i)
+        v.push_back(BigInt::randomBelow(gRng, p));
+    auto it = v.begin();
+    return F::fromFpCoeffs(ctx, it);
+}
+
+void
+BM_FpMul(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    Fp a = randFp(&sys.fpCtx(), sys.info().p);
+    Fp b = randFp(&sys.fpCtx(), sys.info().p);
+    for (auto _ : state) {
+        a = a.mul(b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_FpMul);
+
+void
+BM_FpInv(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    Fp a = randFp(&sys.fpCtx(), sys.info().p);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.inv());
+    }
+}
+BENCHMARK(BM_FpInv);
+
+void
+BM_Fp2Mul(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    auto a = randElem<Fp2>(&sys.tower().fp2, &sys.fpCtx(), sys.info().p, 2);
+    auto b = randElem<Fp2>(&sys.tower().fp2, &sys.fpCtx(), sys.info().p, 2);
+    for (auto _ : state) {
+        a = a.mul(b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fp2Mul);
+
+void
+BM_Fp12Mul(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    auto a = randElem<Fp12>(&sys.tower().fp12, &sys.fpCtx(), sys.info().p,
+                            12);
+    auto b = randElem<Fp12>(&sys.tower().fp12, &sys.fpCtx(), sys.info().p,
+                            12);
+    for (auto _ : state) {
+        a = a.mul(b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fp12Mul);
+
+void
+BM_Fp12Sqr(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    auto a = randElem<Fp12>(&sys.tower().fp12, &sys.fpCtx(), sys.info().p,
+                            12);
+    for (auto _ : state) {
+        a = a.sqr();
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fp12Sqr);
+
+void
+BM_Fp24Mul(benchmark::State &state)
+{
+    const auto &sys = curveSystem24("BLS24-509");
+    auto a = randElem<Fp24>(&sys.tower().fp24, &sys.fpCtx(), sys.info().p,
+                            24);
+    auto b = randElem<Fp24>(&sys.tower().fp24, &sys.fpCtx(), sys.info().p,
+                            24);
+    for (auto _ : state) {
+        a = a.mul(b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Fp24Mul);
+
+void
+BM_G1ScalarMul(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    const auto p = sys.randomG1(gRng);
+    const BigInt k = BigInt::randomBelow(gRng, sys.info().r);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scalarMul(sys.g1Curve(), p, k));
+    }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void
+BM_MillerLoopBN254(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    const auto p = sys.randomG1(gRng);
+    const auto q = sys.randomG2(gRng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sys.engine().miller(p.x, p.y, q.x, q.y));
+    }
+}
+BENCHMARK(BM_MillerLoopBN254);
+
+void
+BM_FinalExpBN254(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    const auto p = sys.randomG1(gRng);
+    const auto q = sys.randomG2(gRng);
+    const auto f = sys.engine().miller(p.x, p.y, q.x, q.y);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.engine().finalExp(f));
+    }
+}
+BENCHMARK(BM_FinalExpBN254);
+
+void
+BM_FullPairing(benchmark::State &state)
+{
+    const auto &sys = bn254();
+    const auto p = sys.randomG1(gRng);
+    const auto q = sys.randomG2(gRng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.pair(p, q));
+    }
+}
+BENCHMARK(BM_FullPairing);
+
+void
+BM_FullPairingBLS12_381(benchmark::State &state)
+{
+    const auto &sys = curveSystem12("BLS12-381");
+    const auto p = sys.randomG1(gRng);
+    const auto q = sys.randomG2(gRng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.pair(p, q));
+    }
+}
+BENCHMARK(BM_FullPairingBLS12_381);
+
+} // namespace
+} // namespace finesse
+
+BENCHMARK_MAIN();

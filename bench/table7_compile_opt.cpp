@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 7 reproduction: compilation-strategy evaluation across all
+ * catalog curves. Init = literature-level trace, program-order issue;
+ * Opt = IROpt (constant/zero propagation recovering sparse
+ * multiplication, GVN, DCE, strength reduction) + affinity list
+ * scheduling. HW1/HW2 = pipeline model without/with the write-back
+ * FIFO. Also reports compile times (paper: 8.0 s BN254N to 53.1 s
+ * BLS24-509).
+ */
+#include "bench_common.h"
+#include "dse/explorer.h"
+
+using namespace finesse;
+
+int
+main()
+{
+    banner("Table 7: compilation strategies (instr reduction + IPC)");
+    std::vector<std::string> names;
+    for (const CurveDef &def : curveCatalog())
+        names.push_back(def.name);
+    if (fastMode())
+        names = {"BN254N", "BLS12-381"};
+
+    TextTable t;
+    t.header({"Curve", "Instr Init->Opt", "Reduction", "IPC Init",
+              "IPC Opt (HW1/HW2)", "Compile(s)"});
+    for (const std::string &name : names) {
+        Framework fw(name);
+
+        CompileOptions init;
+        init.optimize = false;
+        init.listSchedule = false;
+        const CompileResult rInit = fw.compile(init);
+        const CycleStats sInit = simulateCycles(rInit.prog);
+
+        CompileOptions hw1;
+        hw1.hw.writebackFifo = false;
+        const CompileResult r1 = fw.compile(hw1);
+        const CycleStats s1 = simulateCycles(r1.prog);
+
+        CompileOptions hw2;
+        hw2.hw.writebackFifo = true;
+        const CompileResult r2 = fw.compile(hw2);
+        const CycleStats s2 = simulateCycles(r2.prog);
+
+        const double reduction =
+            100.0 * (1.0 - double(r1.instrs()) / double(rInit.instrs()));
+        t.row({name,
+               fmtK(double(rInit.instrs())) + " -> " +
+                   fmtK(double(r1.instrs())),
+               "-" + fmt(reduction, 1) + "%", fmt(sInit.ipc()),
+               fmt(s1.ipc()) + " / " + fmt(s2.ipc()),
+               fmt(rInit.compileSeconds + r1.compileSeconds +
+                       r2.compileSeconds,
+                   1)});
+    }
+    t.print();
+    std::printf("\nPaper anchors: reductions of 8.5-16.4%%; IPC "
+                "0.19-0.22 -> 0.87-0.97; compile times of seconds to "
+                "under a minute.\n");
+    return 0;
+}

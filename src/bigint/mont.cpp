@@ -1,0 +1,145 @@
+/**
+ * @file
+ * MontCtx implementation: word-serial CIOS Montgomery multiplication.
+ */
+#include "bigint/mont.h"
+
+namespace finesse {
+
+namespace {
+
+/** -m^-1 mod 2^64 via Newton iteration on the low limb. */
+u64
+negInv64(u64 m)
+{
+    u64 inv = 1;
+    for (int i = 0; i < 6; ++i)
+        inv *= 2 - m * inv;
+    return ~inv + 1; // -inv
+}
+
+} // namespace
+
+MontCtx::MontCtx(const BigInt &p) : p_(p)
+{
+    FINESSE_REQUIRE(p.isOdd() && p > BigInt(u64{2}),
+                    "Montgomery modulus must be odd and > 2");
+    n_ = (static_cast<size_t>(p.bitLength()) + 63) / 64;
+    FINESSE_REQUIRE(n_ <= kMaxLimbs, "modulus too wide: ", p.bitLength(),
+                    " bits");
+    bits_ = p.bitLength();
+    p.toLimbs(pLimbs_.data(), kMaxLimbs);
+    n0inv_ = negInv64(pLimbs_[0]);
+
+    const BigInt r = BigInt(u64{1}) << static_cast<int>(64 * n_);
+    r.mod(p).toLimbs(rModP_.data(), kMaxLimbs);
+    (r * r).mod(p).toLimbs(r2ModP_.data(), kMaxLimbs);
+}
+
+Residue
+MontCtx::toMont(const BigInt &v) const
+{
+    Residue tmp{};
+    v.mod(p_).toLimbs(tmp.data(), kMaxLimbs);
+    Residue out{};
+    mul(out, tmp, r2ModP_);
+    return out;
+}
+
+BigInt
+MontCtx::fromMont(const Residue &a) const
+{
+    // Multiply by 1 (non-Montgomery) to divide by R.
+    Residue oneRaw{};
+    oneRaw[0] = 1;
+    Residue out{};
+    mul(out, a, oneRaw);
+    return BigInt::fromLimbs(out.data(), n_);
+}
+
+void
+MontCtx::add(Residue &r, const Residue &a, const Residue &b) const
+{
+    const u64 carry = limbs::add(r.data(), a.data(), b.data(), n_);
+    limbs::condSubModulus(r.data(), pLimbs_.data(), n_, carry);
+}
+
+void
+MontCtx::sub(Residue &r, const Residue &a, const Residue &b) const
+{
+    const u64 borrow = limbs::sub(r.data(), a.data(), b.data(), n_);
+    if (borrow)
+        limbs::add(r.data(), r.data(), pLimbs_.data(), n_);
+}
+
+void
+MontCtx::neg(Residue &r, const Residue &a) const
+{
+    if (limbs::isZero(a.data(), n_)) {
+        limbs::zero(r.data(), n_);
+        return;
+    }
+    limbs::sub(r.data(), pLimbs_.data(), a.data(), n_);
+}
+
+void
+MontCtx::mul(Residue &r, const Residue &a, const Residue &b) const
+{
+    // CIOS: interleaved multiply and Montgomery reduction.
+    u64 t[kMaxLimbs + 2] = {0};
+    const size_t n = n_;
+    for (size_t i = 0; i < n; ++i) {
+        // t += a[i] * b
+        u64 carry = 0;
+        const u64 ai = a[i];
+        for (size_t j = 0; j < n; ++j) {
+            const u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+            t[j] = static_cast<u64>(s);
+            carry = static_cast<u64>(s >> 64);
+        }
+        u128 s = static_cast<u128>(t[n]) + carry;
+        t[n] = static_cast<u64>(s);
+        t[n + 1] = static_cast<u64>(s >> 64);
+
+        // Reduce: m = t[0] * n0inv; t += m * p; t >>= 64.
+        const u64 m = t[0] * n0inv_;
+        u128 acc = static_cast<u128>(m) * pLimbs_[0] + t[0];
+        carry = static_cast<u64>(acc >> 64);
+        for (size_t j = 1; j < n; ++j) {
+            acc = static_cast<u128>(m) * pLimbs_[j] + t[j] + carry;
+            t[j - 1] = static_cast<u64>(acc);
+            carry = static_cast<u64>(acc >> 64);
+        }
+        s = static_cast<u128>(t[n]) + carry;
+        t[n - 1] = static_cast<u64>(s);
+        t[n] = t[n + 1] + static_cast<u64>(s >> 64);
+        t[n + 1] = 0;
+    }
+    for (size_t i = 0; i < n; ++i)
+        r[i] = t[i];
+    for (size_t i = n; i < kMaxLimbs; ++i)
+        r[i] = 0;
+    limbs::condSubModulus(r.data(), pLimbs_.data(), n, t[n]);
+}
+
+void
+MontCtx::pow(Residue &r, const Residue &a, const BigInt &e) const
+{
+    FINESSE_REQUIRE(!e.isNegative(), "negative exponent in MontCtx::pow");
+    Residue result = rModP_; // Montgomery one
+    Residue base = a;
+    for (int i = e.bitLength(); i-- > 0;) {
+        mul(result, result, result);
+        if (e.bit(i))
+            mul(result, result, base);
+    }
+    r = result;
+}
+
+void
+MontCtx::inv(Residue &r, const Residue &a) const
+{
+    pow(r, a, p_ - BigInt(u64{2}));
+}
+
+} // namespace finesse

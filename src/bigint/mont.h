@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Montgomery-domain modular arithmetic context. One MontCtx exists per
+ * base field Fp and provides the word-serial CIOS multiplication that the
+ * paper's mmul hardware unit implements in a Karatsuba-Wallace pipeline.
+ */
+#ifndef FINESSE_BIGINT_MONT_H_
+#define FINESSE_BIGINT_MONT_H_
+
+#include <array>
+
+#include "bigint/bigint.h"
+#include "bigint/limbs.h"
+
+namespace finesse {
+
+/** Raw residue value: fixed storage, runtime active width. */
+using Residue = std::array<u64, kMaxLimbs>;
+
+/**
+ * Montgomery multiplication context for an odd modulus p of at most
+ * kMaxLimbs * 64 bits. Values handled by mul/sqr/... are residues in the
+ * Montgomery domain (a * R mod p with R = 2^(64n)).
+ */
+class MontCtx
+{
+  public:
+    /** Build a context for odd modulus @p p (p > 2). */
+    explicit MontCtx(const BigInt &p);
+
+    /** Active limb count n. */
+    size_t limbCount() const { return n_; }
+
+    /** Modulus as BigInt. */
+    const BigInt &modulus() const { return p_; }
+
+    /** Modulus bit length. */
+    int bits() const { return bits_; }
+
+    // Domain conversion ------------------------------------------------
+    /** Standard integer (mod p) -> Montgomery domain. */
+    Residue toMont(const BigInt &v) const;
+
+    /** Montgomery domain -> standard integer in [0, p). */
+    BigInt fromMont(const Residue &a) const;
+
+    // Arithmetic (all inputs/outputs in Montgomery domain) --------------
+    void add(Residue &r, const Residue &a, const Residue &b) const;
+    void sub(Residue &r, const Residue &a, const Residue &b) const;
+    void neg(Residue &r, const Residue &a) const;
+    void mul(Residue &r, const Residue &a, const Residue &b) const;
+    void sqr(Residue &r, const Residue &a) const { mul(r, a, a); }
+
+    /** r = a^e (e is a plain non-negative integer, not a residue). */
+    void pow(Residue &r, const Residue &a, const BigInt &e) const;
+
+    /** r = a^(p-2) = a^-1 for prime p; zero maps to zero. */
+    void inv(Residue &r, const Residue &a) const;
+
+    /** Montgomery representation of 1. */
+    const Residue &one() const { return rModP_; }
+
+    bool isZero(const Residue &a) const
+    {
+        return limbs::isZero(a.data(), n_);
+    }
+
+    bool
+    equal(const Residue &a, const Residue &b) const
+    {
+        return limbs::cmp(a.data(), b.data(), n_) == 0;
+    }
+
+  private:
+    BigInt p_;
+    size_t n_;           ///< active limb count
+    int bits_;           ///< modulus bit length
+    u64 n0inv_;          ///< -p^-1 mod 2^64
+    Residue pLimbs_{};   ///< modulus limbs
+    Residue rModP_{};    ///< R mod p (Montgomery one)
+    Residue r2ModP_{};   ///< R^2 mod p (for toMont)
+};
+
+} // namespace finesse
+
+#endif // FINESSE_BIGINT_MONT_H_

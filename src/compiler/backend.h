@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Compiler backend stages (Sec. 3.5): BankAlloc, PackSched (Algorithm 2
+ * with issue-slot affinity), RegAlloc, and the compiled-program
+ * container handed to the encoder and the simulators.
+ */
+#ifndef FINESSE_COMPILER_BACKEND_H_
+#define FINESSE_COMPILER_BACKEND_H_
+
+#include <vector>
+
+#include "hwmodel/pipeline.h"
+#include "ir/ir.h"
+
+namespace finesse {
+
+/** Value -> register bank assignment. */
+struct BankAssignment
+{
+    std::vector<i32> bankOf; ///< per value id
+    int numBanks = 1;
+};
+
+/**
+ * Residual (modulo) bank assignment: the paper's baseline strategy.
+ */
+BankAssignment assignBanks(const Module &m, const PipelineModel &hw);
+
+/** One issue slot: up to issueWidth instruction indexes. */
+struct Bundle
+{
+    std::vector<i32> instIdx; ///< indexes into Module::body
+};
+
+/** Static schedule: ordered bundles plus estimated timing. */
+struct Schedule
+{
+    std::vector<Bundle> bundles;
+    std::vector<i64> issueCycle;   ///< per body index, scheduler estimate
+    i64 estimatedCycles = 0;       ///< completion estimate
+    size_t numInstrs = 0;
+
+    double
+    estimatedIpc() const
+    {
+        return estimatedCycles
+                   ? static_cast<double>(numInstrs) /
+                         static_cast<double>(estimatedCycles)
+                   : 0.0;
+    }
+};
+
+/**
+ * PackSched. When @p useListScheduling is false the schedule is plain
+ * program order (one instruction per bundle): the "Init" baseline.
+ * Otherwise: top-down list scheduling over the dependence DAG with
+ * issue-slot affinity ordering and greedy constraint-checked packing
+ * (Algorithm 2).
+ */
+Schedule scheduleModule(const Module &m, const BankAssignment &banks,
+                        const PipelineModel &hw, bool useListScheduling);
+
+/** Register assignment within banks. */
+struct RegAssignment
+{
+    std::vector<i32> regOf;          ///< per value id (index within bank)
+    std::vector<i32> maxRegsPerBank; ///< high-water mark per bank
+
+    i32
+    maxRegs() const
+    {
+        i32 m = 0;
+        for (i32 v : maxRegsPerBank)
+            m = std::max(m, v);
+        return m;
+    }
+};
+
+/**
+ * RegAlloc: linear-scan (liveness-interval) allocation in schedule
+ * order with per-bank free lists. Constants are pinned for the whole
+ * program (they are preloaded into DMem).
+ */
+RegAssignment allocateRegisters(const Module &m, const BankAssignment &banks,
+                                const Schedule &sched);
+
+/** Everything the encoder/simulators need about one compilation. */
+struct CompiledProgram
+{
+    Module module;
+    BankAssignment banks;
+    Schedule schedule;
+    RegAssignment regs;
+    PipelineModel hw;
+    double compileSeconds = 0.0;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_BACKEND_H_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CodeGen: trace the optimal Ate pairing into an Fp-level SSA Module by
+ * instantiating the tower + pairing-engine templates over the symbolic
+ * base field. Input convention: [xP, yP, xQ coeffs..., yQ coeffs...]
+ * (affine, Ft coefficients flattened over Fp); output: the k Fp
+ * coefficients of the GT result.
+ */
+#ifndef FINESSE_COMPILER_CODEGEN_H_
+#define FINESSE_COMPILER_CODEGEN_H_
+
+#include "compiler/symfp.h"
+#include "pairing/engine.h"
+#include "pairing/system.h"
+
+namespace finesse {
+
+/** Build an Ft element whose Fp leaves come from @p supply. */
+template <typename F, typename Supply>
+F
+buildFromLeaves(const typename F::Ctx *ctx, Supply &supply)
+{
+    if constexpr (std::is_same_v<F, SymFp>) {
+        return supply();
+    } else if constexpr (requires(F f) { f.c2(); }) {
+        using Base = std::decay_t<decltype(std::declval<F>().c0())>;
+        Base a = buildFromLeaves<Base>(ctx->base, supply);
+        Base b = buildFromLeaves<Base>(ctx->base, supply);
+        Base c = buildFromLeaves<Base>(ctx->base, supply);
+        return F{std::move(a), std::move(b), std::move(c), ctx};
+    } else {
+        using Base = std::decay_t<decltype(std::declval<F>().c0())>;
+        Base a = buildFromLeaves<Base>(ctx->base, supply);
+        Base b = buildFromLeaves<Base>(ctx->base, supply);
+        return F{std::move(a), std::move(b), ctx};
+    }
+}
+
+/**
+ * Trace the pairing of @p sys into a Module. @p SymTW must be the
+ * symbolic twin of the native tower (Tower12<SymFp> for Tower12<Fp>).
+ */
+template <typename SymTW, typename NativeTW>
+Module
+tracePairing(const CurveSystem<NativeTW> &sys, const VariantConfig &vc,
+             TracePart part = TracePart::Full)
+{
+    TraceBuilder tb(sys.info().p);
+    SymFp::Ctx sctx{&tb};
+
+    SymTW symTower;
+    buildTower(symTower, &sctx, sys.towerParams(), vc);
+
+    PairingEngine<SymTW> engine(symTower, sys.plan(), vc.g2Coords,
+                                vc.cyclotomicSqr);
+
+    auto supply = [&] { return SymFp{tb.input(), &sctx}; };
+
+    using FtS = typename SymTW::FtT;
+    using GtS = typename SymTW::GtT;
+
+    GtS result = GtS::one(symTower.gtCtx());
+    if (part == TracePart::FinalExpOnly) {
+        GtS f = buildFromLeaves<GtS>(symTower.gtCtx(), supply);
+        result = engine.finalExp(f);
+    } else {
+        const SymFp xP = supply();
+        const SymFp yP = supply();
+        const FtS xQ = buildFromLeaves<FtS>(symTower.ftCtx(), supply);
+        const FtS yQ = buildFromLeaves<FtS>(symTower.ftCtx(), supply);
+        result = part == TracePart::MillerOnly
+                     ? engine.miller(xP, yP, xQ, yQ)
+                     : engine.pair(xP, yP, xQ, yQ);
+    }
+
+    forEachLeaf(result, [&](const SymFp &leaf) { tb.output(leaf.id()); });
+    Module m = tb.finish();
+    m.verify();
+    return m;
+}
+
+/** Convenience dispatchers for the two tower shapes. */
+inline Module
+tracePairing12(const CurveSystem<NativeTower12> &sys,
+               const VariantConfig &vc, TracePart part = TracePart::Full)
+{
+    return tracePairing<Tower12<SymFp>>(sys, vc, part);
+}
+
+inline Module
+tracePairing24(const CurveSystem<NativeTower24> &sys,
+               const VariantConfig &vc, TracePart part = TracePart::Full)
+{
+    return tracePairing<Tower24<SymFp>>(sys, vc, part);
+}
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_CODEGEN_H_

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * IROpt implementation. One fused forward pass (constant folding,
+ * identity/zero rules, strength reduction, GVN) followed by backward
+ * DCE, iterated to a fixpoint.
+ */
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "support/common.h"
+
+namespace finesse {
+
+namespace {
+
+/** Hash key for value numbering. */
+struct VnKey
+{
+    Op op;
+    i32 a, b;
+
+    bool
+    operator==(const VnKey &o) const
+    {
+        return op == o.op && a == o.a && b == o.b;
+    }
+};
+
+struct VnKeyHash
+{
+    size_t
+    operator()(const VnKey &k) const
+    {
+        return std::hash<u64>()((static_cast<u64>(k.op) << 56) ^
+                                (static_cast<u64>(static_cast<u32>(k.a))
+                                 << 28) ^
+                                static_cast<u64>(static_cast<u32>(k.b)));
+    }
+};
+
+class Optimizer
+{
+  public:
+    explicit Optimizer(Module &m) : m_(m) {}
+
+    bool
+    runOnce()
+    {
+        rep_.assign(m_.numValues, -1);
+        constVal_.clear();
+        constIds_.clear();
+        vn_.clear();
+        for (const auto &c : m_.constants) {
+            constVal_[c.id] = c.value;
+            constIds_[c.value] = c.id;
+        }
+
+        std::vector<Inst> newBody;
+        newBody.reserve(m_.body.size());
+        for (const Inst &raw : m_.body) {
+            Inst inst = raw;
+            if (arity(inst.op) >= 1)
+                inst.a = resolve(inst.a);
+            if (arity(inst.op) >= 2)
+                inst.b = resolve(inst.b);
+
+            const i32 replacement = simplify(inst);
+            if (replacement >= 0) {
+                rep_[inst.dst] = replacement;
+                continue;
+            }
+            // GVN with commutativity canonicalization.
+            VnKey key{inst.op, inst.a, inst.b};
+            if (inst.op == Op::Add || inst.op == Op::Mul) {
+                if (key.a > key.b)
+                    std::swap(key.a, key.b);
+            }
+            auto it = vn_.find(key);
+            if (it != vn_.end()) {
+                rep_[inst.dst] = it->second;
+                continue;
+            }
+            vn_.emplace(key, inst.dst);
+            newBody.push_back(inst);
+        }
+
+        for (auto &out : m_.outputs)
+            out = resolve(out);
+
+        // Dead code elimination (backward liveness from outputs).
+        std::vector<u8> live(m_.numValues, 0);
+        for (i32 out : m_.outputs)
+            live[out] = 1;
+        std::vector<Inst> kept;
+        kept.reserve(newBody.size());
+        for (size_t i = newBody.size(); i-- > 0;) {
+            const Inst &inst = newBody[i];
+            if (!live[inst.dst])
+                continue;
+            if (arity(inst.op) >= 1)
+                live[inst.a] = 1;
+            if (arity(inst.op) >= 2)
+                live[inst.b] = 1;
+            kept.push_back(inst);
+        }
+        std::reverse(kept.begin(), kept.end());
+
+        // Drop now-unreferenced constants from the pool.
+        std::vector<ConstEntry> usedConsts;
+        for (const auto &c : m_.constants) {
+            if (live[c.id])
+                usedConsts.push_back(c);
+        }
+
+        const bool changed = kept.size() != m_.body.size() ||
+                             usedConsts.size() != m_.constants.size();
+        m_.body = std::move(kept);
+        m_.constants = std::move(usedConsts);
+        return changed;
+    }
+
+  private:
+    i32
+    resolve(i32 id)
+    {
+        while (id >= 0 && rep_[id] >= 0)
+            id = rep_[id];
+        return id;
+    }
+
+    bool
+    constOf(i32 id, BigInt &out) const
+    {
+        auto it = constVal_.find(id);
+        if (it == constVal_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    i32
+    internConst(const BigInt &v)
+    {
+        auto it = constIds_.find(v);
+        if (it != constIds_.end())
+            return it->second;
+        const i32 id = m_.numValues++;
+        rep_.push_back(-1);
+        m_.constants.push_back({id, v});
+        constVal_[id] = v;
+        constIds_[v] = id;
+        return id;
+    }
+
+    /**
+     * Try to simplify @p inst (which may be rewritten in place for
+     * strength reduction). Returns a replacement value id when the
+     * instruction can be elided entirely, -1 otherwise.
+     */
+    i32
+    simplify(Inst &inst)
+    {
+        const BigInt &p = m_.p;
+        BigInt ca, cb;
+        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
+        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
+
+        switch (inst.op) {
+          case Op::Add:
+            if (aConst && ca.isZero())
+                return inst.b;
+            if (bConst && cb.isZero())
+                return inst.a;
+            if (aConst && bConst)
+                return internConst((ca + cb).mod(p));
+            if (inst.a == inst.b) {
+                inst.op = Op::Dbl;
+                inst.b = -1;
+            }
+            return -1;
+          case Op::Sub:
+            if (bConst && cb.isZero())
+                return inst.a;
+            if (inst.a == inst.b)
+                return internConst(BigInt());
+            if (aConst && bConst)
+                return internConst((ca - cb).mod(p));
+            if (aConst && ca.isZero()) {
+                inst.op = Op::Neg;
+                inst.a = inst.b;
+                inst.b = -1;
+            }
+            return -1;
+          case Op::Mul: {
+            if ((aConst && ca.isZero()) || (bConst && cb.isZero()))
+                return internConst(BigInt());
+            if (aConst && ca == BigInt(u64{1}))
+                return inst.b;
+            if (bConst && cb == BigInt(u64{1}))
+                return inst.a;
+            if (aConst && bConst)
+                return internConst((ca * cb).mod(p));
+            // Strength reduction on small constants.
+            const BigInt pm1 = p - BigInt(u64{1});
+            auto strengthReduce = [&](const BigInt &c, i32 other) {
+                if (c == BigInt(u64{2})) {
+                    inst.op = Op::Dbl;
+                    inst.a = other;
+                    inst.b = -1;
+                    return true;
+                }
+                if (c == BigInt(u64{3})) {
+                    inst.op = Op::Tpl;
+                    inst.a = other;
+                    inst.b = -1;
+                    return true;
+                }
+                if (c == pm1) {
+                    inst.op = Op::Neg;
+                    inst.a = other;
+                    inst.b = -1;
+                    return true;
+                }
+                return false;
+            };
+            if (aConst && strengthReduce(ca, inst.b))
+                return -1;
+            if (bConst && strengthReduce(cb, inst.a))
+                return -1;
+            if (inst.a == inst.b) {
+                inst.op = Op::Sqr;
+                inst.b = -1;
+            }
+            return -1;
+          }
+          case Op::Sqr:
+            if (aConst)
+                return internConst((ca * ca).mod(p));
+            return -1;
+          case Op::Neg:
+            if (aConst)
+                return internConst((-ca).mod(p));
+            return -1;
+          case Op::Dbl:
+            if (aConst)
+                return internConst((ca + ca).mod(p));
+            return -1;
+          case Op::Tpl:
+            if (aConst)
+                return internConst((ca + ca + ca).mod(p));
+            return -1;
+          case Op::Inv:
+            if (aConst)
+                return internConst(ca.isZero() ? BigInt()
+                                               : ca.invMod(p));
+            return -1;
+          case Op::Cvt:
+          case Op::Icv:
+          case Op::Nop:
+            return -1;
+        }
+        return -1;
+    }
+
+    Module &m_;
+    std::vector<i32> rep_;
+    std::unordered_map<i32, BigInt> constVal_;
+    std::map<BigInt, i32> constIds_;
+    std::unordered_map<VnKey, i32, VnKeyHash> vn_;
+};
+
+} // namespace
+
+OptStats
+optimizeModule(Module &m)
+{
+    OptStats stats;
+    stats.instrsBefore = m.body.size();
+    Optimizer opt(m);
+    for (int iter = 0; iter < 8; ++iter) {
+        ++stats.iterations;
+        if (!opt.runOnce())
+            break;
+    }
+    stats.instrsAfter = m.body.size();
+    m.verify();
+    return stats;
+}
+
+} // namespace finesse

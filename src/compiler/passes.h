@@ -1,0 +1,46 @@
+/**
+ * @file
+ * IROpt: SSA data-flow optimization passes (Sec. 3.5, "IROpt").
+ *  - constant propagation / folding (with the Frobenius constant tables
+ *    already interned by CodeGen),
+ *  - zero/one propagation, which automatically recovers the manual
+ *    "dense x sparse" Fp^k multiplication optimizations of the
+ *    literature (Table 7 discussion),
+ *  - strength reduction (mul-by-small-constant -> DBL/TPL/NEG,
+ *    mul(a, a) -> SQR),
+ *  - global value numbering using commutativity on finite fields,
+ *  - dead code elimination.
+ * Passes iterate to a fixpoint.
+ */
+#ifndef FINESSE_COMPILER_PASSES_H_
+#define FINESSE_COMPILER_PASSES_H_
+
+#include "ir/ir.h"
+
+namespace finesse {
+
+/** Result counters for reporting (Table 7). */
+struct OptStats
+{
+    size_t instrsBefore = 0;
+    size_t instrsAfter = 0;
+    int iterations = 0;
+
+    double
+    reductionPct() const
+    {
+        if (instrsBefore == 0)
+            return 0.0;
+        return 100.0 *
+               (static_cast<double>(instrsBefore) -
+                static_cast<double>(instrsAfter)) /
+               static_cast<double>(instrsBefore);
+    }
+};
+
+/** Run the full IROpt pipeline in place. */
+OptStats optimizeModule(Module &m);
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_PASSES_H_

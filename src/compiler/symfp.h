@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Symbolic base-field element and trace builder: the compiler's CodeGen
+ * stage. SymFp mirrors the exact method surface of the native Fp, so
+ * instantiating the tower/curve/pairing templates over SymFp executes
+ * the *same algorithms* while recording a straight-line Fp-level SSA
+ * trace instead of computing values. Loop bounds are curve constants,
+ * so the recorded trace is the fully-unrolled single basic block the
+ * paper's compiler operates on.
+ *
+ * The builder always emits "literature-level" code (dense operation
+ * streams, constants interned in the pool); all data-flow optimization
+ * (constant/zero propagation, GVN, DCE, strength reduction) happens in
+ * the IROpt passes so that the paper's Init -> Opt comparison (Table 7)
+ * is reproducible.
+ */
+#ifndef FINESSE_COMPILER_SYMFP_H_
+#define FINESSE_COMPILER_SYMFP_H_
+
+#include <map>
+#include <vector>
+
+#include "field/fp.h"
+#include "ir/ir.h"
+
+namespace finesse {
+
+/** Records an SSA trace of Fp operations. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const BigInt &p) : p_(p) {}
+
+    /** Allocate a fresh SSA id. */
+    i32
+    fresh()
+    {
+        return numValues_++;
+    }
+
+    /** Intern a constant (deduplicated by value). */
+    i32
+    constant(const BigInt &v)
+    {
+        const BigInt reduced = v.mod(p_);
+        auto it = constIds_.find(reduced);
+        if (it != constIds_.end())
+            return it->second;
+        const i32 id = fresh();
+        constIds_.emplace(reduced, id);
+        constants_.push_back({id, reduced});
+        return id;
+    }
+
+    /** Declare a program input; returns the ICV-converted value id. */
+    i32
+    input()
+    {
+        const i32 raw = fresh();
+        inputs_.push_back(raw);
+        return emit(Op::Icv, raw);
+    }
+
+    /** Declare a program output; emits the CVT conversion. */
+    void
+    output(i32 id)
+    {
+        outputs_.push_back(emit(Op::Cvt, id));
+    }
+
+    /** Emit an instruction, returning the destination id. */
+    i32
+    emit(Op op, i32 a, i32 b = -1)
+    {
+        const i32 dst = fresh();
+        body_.push_back({op, dst, a, b});
+        return dst;
+    }
+
+    /** Finish and return the module. */
+    Module
+    finish()
+    {
+        Module m;
+        m.p = p_;
+        m.numValues = numValues_;
+        m.body = std::move(body_);
+        m.inputs = std::move(inputs_);
+        m.outputs = std::move(outputs_);
+        m.constants = std::move(constants_);
+        return m;
+    }
+
+    const BigInt &modulus() const { return p_; }
+
+    /** 1/2 mod p (for halve). */
+    BigInt
+    halfConst() const
+    {
+        return (p_ + BigInt(u64{1})) >> 1;
+    }
+
+  private:
+    BigInt p_;
+    i32 numValues_ = 0;
+    std::vector<Inst> body_;
+    std::vector<i32> inputs_, outputs_;
+    std::vector<ConstEntry> constants_;
+    std::map<BigInt, i32> constIds_;
+};
+
+/**
+ * Symbolic Fp element: a value id plus the builder. Implements the
+ * identical concept as finesse::Fp (see field/fp.h).
+ */
+class SymFp
+{
+  public:
+    /** Per-trace context (plays the role of FpCtx). */
+    struct Ctx
+    {
+        TraceBuilder *tb = nullptr;
+    };
+
+    SymFp() = default;
+    SymFp(i32 id, const Ctx *ctx) : id_(id), ctx_(ctx) {}
+
+    static SymFp
+    zero(const Ctx *ctx)
+    {
+        return {ctx->tb->constant(BigInt()), ctx};
+    }
+
+    static SymFp
+    one(const Ctx *ctx)
+    {
+        return {ctx->tb->constant(BigInt(u64{1})), ctx};
+    }
+
+    static SymFp
+    fromBig(const Ctx *ctx, const BigInt &v)
+    {
+        return {ctx->tb->constant(v), ctx};
+    }
+
+    static SymFp
+    fromInt(const Ctx *ctx, i64 v)
+    {
+        return fromBig(ctx, BigInt(v));
+    }
+
+    SymFp zeroLike() const { return zero(ctx_); }
+    SymFp oneLike() const { return one(ctx_); }
+
+    i32 id() const { return id_; }
+    const Ctx *fieldCtx() const { return ctx_; }
+
+    // Arithmetic: each call records one instruction. -----------------------
+    SymFp add(const SymFp &o) const { return wrap(Op::Add, id_, o.id_); }
+    SymFp sub(const SymFp &o) const { return wrap(Op::Sub, id_, o.id_); }
+    SymFp neg() const { return wrap(Op::Neg, id_); }
+    SymFp dbl() const { return wrap(Op::Dbl, id_); }
+    SymFp tpl() const { return wrap(Op::Tpl, id_); }
+    SymFp mul(const SymFp &o) const { return wrap(Op::Mul, id_, o.id_); }
+    SymFp sqr() const { return wrap(Op::Sqr, id_); }
+    SymFp inv() const { return wrap(Op::Inv, id_); }
+
+    SymFp
+    halve() const
+    {
+        const i32 c = ctx_->tb->constant(ctx_->tb->halfConst());
+        return wrap(Op::Mul, id_, c);
+    }
+
+    /** Frobenius on Fp is the identity (no instruction emitted). */
+    SymFp frob() const { return *this; }
+
+    SymFp scaleScalar(const SymFp &s) const { return mul(s); }
+
+    // Coefficient loading (constants only, mirrors Fp). --------------------
+    template <typename It>
+    static SymFp
+    fromFpCoeffs(const Ctx *ctx, It &it)
+    {
+        return fromBig(ctx, *it++);
+    }
+
+  private:
+    SymFp
+    wrap(Op op, i32 a, i32 b = -1) const
+    {
+        return {ctx_->tb->emit(op, a, b), ctx_};
+    }
+
+    i32 id_ = -1;
+    const Ctx *ctx_ = nullptr;
+};
+
+/** Visit every SymFp leaf of a tower element (for output collection). */
+template <typename F, typename Fn>
+void
+forEachLeaf(const F &x, Fn &&fn)
+{
+    if constexpr (requires { x.id(); }) {
+        fn(x);
+    } else if constexpr (requires { x.c2(); }) {
+        forEachLeaf(x.c0(), fn);
+        forEachLeaf(x.c1(), fn);
+        forEachLeaf(x.c2(), fn);
+    } else {
+        forEachLeaf(x.c0(), fn);
+        forEachLeaf(x.c1(), fn);
+    }
+}
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_SYMFP_H_

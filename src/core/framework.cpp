@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Framework implementation: type-erased curve handles over the two
+ * tower shapes, the compile pipeline driver, and functional validation.
+ */
+#include "core/framework.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "compiler/codegen.h"
+#include "pairing/cache.h"
+#include "sim/functional.h"
+
+namespace finesse {
+
+namespace {
+
+/** Flatten an affine G1/G2 pair into the module input convention. */
+template <typename TW>
+std::vector<BigInt>
+flattenPairInputs(const CurveSystem<TW> &sys,
+                  const typename CurveSystem<TW>::G1Affine &p,
+                  const typename CurveSystem<TW>::G2Affine &q)
+{
+    std::vector<BigInt> in;
+    p.x.toFpCoeffs(in);
+    p.y.toFpCoeffs(in);
+    q.x.toFpCoeffs(in);
+    q.y.toFpCoeffs(in);
+    return in;
+}
+
+template <typename TW, typename SymTW>
+class CurveHandleImpl : public ICurveHandle
+{
+  public:
+    explicit CurveHandleImpl(const CurveSystem<TW> &sys) : sys_(sys) {}
+
+    const CurveInfo &info() const override { return sys_.info(); }
+    const PairingPlan &plan() const override { return sys_.plan(); }
+
+    Module
+    trace(const VariantConfig &variants, TracePart part, bool optimize,
+          OptStats *stats) const override
+    {
+        Module m = tracePairing<SymTW>(sys_, variants, part);
+        OptStats local;
+        if (optimize) {
+            local = optimizeModule(m);
+        } else {
+            local.instrsBefore = local.instrsAfter = m.size();
+        }
+        if (stats)
+            *stats = local;
+        return m;
+    }
+
+    CompileResult
+    compile(const CompileOptions &opt) const override
+    {
+        const auto start = std::chrono::steady_clock::now();
+        OptStats stats;
+        Module m = trace(opt.variants, opt.part, opt.optimize, &stats);
+        CompileResult result =
+            runBackend(std::move(m), opt.hw, opt.listSchedule);
+        result.opt = stats;
+        result.compileSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        result.prog.compileSeconds = result.compileSeconds;
+        return result;
+    }
+
+    std::vector<BigInt>
+    sampleInputs(Rng &rng, TracePart part) const override
+    {
+        if (part == TracePart::FinalExpOnly) {
+            // A Miller-loop output makes the input domain realistic.
+            const auto p = sys_.randomG1(rng);
+            const auto q = sys_.randomG2(rng);
+            const auto f =
+                sys_.engine().miller(p.x, p.y, q.x, q.y);
+            std::vector<BigInt> in;
+            f.toFpCoeffs(in);
+            return in;
+        }
+        const auto p = sys_.randomG1(rng);
+        const auto q = sys_.randomG2(rng);
+        return flattenPairInputs(sys_, p, q);
+    }
+
+    std::vector<BigInt>
+    nativeReference(const std::vector<BigInt> &inputs,
+                    TracePart part) const override
+    {
+        using FtT = typename TW::FtT;
+        using GtT = typename TW::GtT;
+        auto it = inputs.begin();
+        std::vector<BigInt> out;
+        if (part == TracePart::FinalExpOnly) {
+            const GtT f =
+                GtT::fromFpCoeffs(sys_.tower().gtCtx(), it);
+            FINESSE_CHECK(it == inputs.end());
+            sys_.engine().finalExp(f).toFpCoeffs(out);
+            return out;
+        }
+        const Fp xP = Fp::fromFpCoeffs(&sys_.fpCtx(), it);
+        const Fp yP = Fp::fromFpCoeffs(&sys_.fpCtx(), it);
+        const FtT xQ = FtT::fromFpCoeffs(sys_.tower().ftCtx(), it);
+        const FtT yQ = FtT::fromFpCoeffs(sys_.tower().ftCtx(), it);
+        FINESSE_CHECK(it == inputs.end());
+        if (part == TracePart::MillerOnly) {
+            sys_.engine().miller(xP, yP, xQ, yQ).toFpCoeffs(out);
+        } else {
+            sys_.engine().pair(xP, yP, xQ, yQ).toFpCoeffs(out);
+        }
+        return out;
+    }
+
+  private:
+    const CurveSystem<TW> &sys_;
+};
+
+} // namespace
+
+CompileResult
+runBackend(Module module, const PipelineModel &hw, bool listSchedule)
+{
+    const auto start = std::chrono::steady_clock::now();
+    CompileResult result;
+    result.prog.module = std::move(module);
+    result.opt.instrsBefore = result.opt.instrsAfter =
+        result.prog.module.size();
+    result.prog.hw = hw;
+    result.prog.banks = assignBanks(result.prog.module, hw);
+    result.prog.schedule = scheduleModule(
+        result.prog.module, result.prog.banks, hw, listSchedule);
+    result.prog.regs = allocateRegisters(
+        result.prog.module, result.prog.banks, result.prog.schedule);
+    result.binary = encodeProgram(result.prog);
+    result.compileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    result.prog.compileSeconds = result.compileSeconds;
+    return result;
+}
+
+const ICurveHandle &
+curveHandle(const std::string &name)
+{
+    static std::mutex mtx;
+    static std::map<std::string, std::unique_ptr<ICurveHandle>> cache;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const CurveDef &def = findCurve(name);
+        std::unique_ptr<ICurveHandle> handle;
+        if (def.family == CurveFamily::BLS24) {
+            handle = std::make_unique<
+                CurveHandleImpl<NativeTower24, Tower24<SymFp>>>(
+                curveSystem24(name));
+        } else {
+            handle = std::make_unique<
+                CurveHandleImpl<NativeTower12, Tower12<SymFp>>>(
+                curveSystem12(name));
+        }
+        it = cache.emplace(name, std::move(handle)).first;
+    }
+    return *it->second;
+}
+
+ValidationReport
+Framework::validate(const CompileResult &result, int vectors,
+                    TracePart part, u64 seed) const
+{
+    ValidationReport report;
+    report.vectors = vectors;
+    Rng rng(seed);
+    FpCtx fp(info().p);
+    for (int i = 0; i < vectors; ++i) {
+        const auto inputs = handle_->sampleInputs(rng, part);
+        const auto want = handle_->nativeReference(inputs, part);
+        const auto gotModule =
+            runModule(result.prog.module, fp, inputs);
+        const auto gotAllocated = runAllocated(result.prog, fp, inputs);
+        report.moduleMatches += gotModule == want;
+        report.allocatedMatches += gotAllocated == want;
+    }
+    return report;
+}
+
+} // namespace finesse

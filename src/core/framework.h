@@ -1,0 +1,159 @@
+/**
+ * @file
+ * finesse::Framework - the public facade of the design framework.
+ *
+ * One Framework instance corresponds to one curve. It drives the full
+ * agile flow of the paper: CodeGen (trace) -> IROpt -> BankAlloc ->
+ * PackSched -> RegAlloc -> ASM/Link (encode), plus functional
+ * cross-validation against the native library and cycle-accurate /
+ * area / timing evaluation for the co-design loop.
+ *
+ * The curve dispatch is type-erased here so that the compiler,
+ * simulators, DSE and every benchmark can iterate over all catalog
+ * curves uniformly.
+ */
+#ifndef FINESSE_CORE_FRAMEWORK_H_
+#define FINESSE_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "compiler/passes.h"
+#include "hwmodel/area.h"
+#include "isa/encode.h"
+#include "pairing/plan.h"
+#include "sim/cycle.h"
+#include "support/rng.h"
+
+namespace finesse {
+
+/** Options for one compilation (one point in the design space). */
+struct CompileOptions
+{
+    VariantConfig variants;
+    PipelineModel hw;
+    bool optimize = true;     ///< run IROpt passes
+    bool listSchedule = true; ///< Algorithm 2 vs program order ("Init")
+    TracePart part = TracePart::Full;
+};
+
+/** Everything produced by one compilation. */
+struct CompileResult
+{
+    CompiledProgram prog;
+    OptStats opt;
+    EncodedProgram binary;
+    double compileSeconds = 0.0;
+
+    size_t instrs() const { return prog.module.size(); }
+};
+
+/** Functional-validation outcome (simulator vs native library). */
+struct ValidationReport
+{
+    int vectors = 0;
+    int moduleMatches = 0;    ///< SSA-level simulation matches
+    int allocatedMatches = 0; ///< post-RegAlloc register-file matches
+
+    bool
+    allPassed() const
+    {
+        return moduleMatches == vectors && allocatedMatches == vectors;
+    }
+};
+
+/** Type-erased per-curve operations. */
+class ICurveHandle
+{
+  public:
+    virtual ~ICurveHandle() = default;
+
+    virtual const CurveInfo &info() const = 0;
+    virtual const PairingPlan &plan() const = 0;
+
+    /** Trace + optimize + schedule + allocate + encode. */
+    virtual CompileResult compile(const CompileOptions &opt) const = 0;
+
+    /** CodeGen + IROpt only (front end). */
+    virtual Module trace(const VariantConfig &variants, TracePart part,
+                         bool optimize, OptStats *stats) const = 0;
+
+    /** Random valid pairing inputs in the module I/O convention. */
+    virtual std::vector<BigInt> sampleInputs(Rng &rng,
+                                             TracePart part) const = 0;
+
+    /** Reference computation in the module I/O convention. */
+    virtual std::vector<BigInt>
+    nativeReference(const std::vector<BigInt> &inputs,
+                    TracePart part) const = 0;
+};
+
+/** Shared, cached handle for a catalog curve. */
+const ICurveHandle &curveHandle(const std::string &name);
+
+/**
+ * Back end only: BankAlloc + PackSched + RegAlloc + encode a traced
+ * module for one hardware model. Lets DSE sweeps reuse one front-end
+ * trace across many hardware configurations.
+ */
+CompileResult runBackend(Module module, const PipelineModel &hw,
+                         bool listSchedule = true);
+
+/** The user-facing framework facade. */
+class Framework
+{
+  public:
+    explicit Framework(const std::string &curveName)
+        : handle_(&curveHandle(curveName))
+    {}
+
+    const CurveInfo &info() const { return handle_->info(); }
+    const ICurveHandle &handle() const { return *handle_; }
+
+    /** Run the compilation pipeline. */
+    CompileResult
+    compile(const CompileOptions &opt = CompileOptions{}) const
+    {
+        return handle_->compile(opt);
+    }
+
+    /** Cross-validate a compiled program against the native library. */
+    ValidationReport validate(const CompileResult &result, int vectors,
+                              TracePart part = TracePart::Full,
+                              u64 seed = 42) const;
+
+    /** Cycle-accurate simulation of a compiled program. */
+    CycleStats
+    simulate(const CompileResult &result) const
+    {
+        return simulateCycles(result.prog);
+    }
+
+    /** Area report for a compiled program at a core count. */
+    AreaReport
+    area(const CompileResult &result, int cores = 1) const
+    {
+        AreaModel model;
+        DesignPoint dp;
+        dp.fpBits = info().logP();
+        dp.longDepth = result.prog.hw.longLat;
+        dp.numLinUnits = result.prog.hw.numLinUnits;
+        dp.cores = cores;
+        dp.imemBits = result.binary.imemBits();
+        size_t words = 0;
+        for (i32 w : result.prog.regs.maxRegsPerBank)
+            words += static_cast<size_t>(w);
+        dp.dmemWords = words;
+        dp.numBanks = result.prog.banks.numBanks;
+        return AreaModel().report(dp);
+    }
+
+  private:
+    const ICurveHandle *handle_;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_CORE_FRAMEWORK_H_

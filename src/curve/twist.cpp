@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sextic twist order computation (see twist.h).
+ */
+#include "curve/twist.h"
+
+#include "support/common.h"
+
+namespace finesse {
+
+BigInt
+sexticTwistOrder(const BigInt &p, const BigInt &t, int e, const BigInt &r)
+{
+    // Frobenius trace over F_{p^e}.
+    BigInt tPrev(u64{2});
+    BigInt tCur = t;
+    for (int i = 1; i < e; ++i) {
+        BigInt tNext = t * tCur - p * tPrev;
+        tPrev = tCur;
+        tCur = tNext;
+    }
+    const BigInt q = p.pow(static_cast<u64>(e));
+
+    // CM equation: 4q = t_e^2 + 3 f^2 (discriminant -3 family).
+    const BigInt ff = (BigInt(u64{4}) * q - tCur * tCur)
+                          .divExact(BigInt(u64{3}));
+    const BigInt f = ff.isqrt();
+    FINESSE_CHECK(f * f == ff, "CM equation: (4q - t^2)/3 not a square");
+
+    const BigInt qp1 = q + BigInt(u64{1});
+    const BigInt n1 = qp1 - (tCur + BigInt(u64{3}) * f).divExact(
+                                BigInt(u64{2}));
+    const BigInt n2 = qp1 - (tCur - BigInt(u64{3}) * f).divExact(
+                                BigInt(u64{2}));
+    const bool ok1 = (n1 % r).isZero();
+    const bool ok2 = (n2 % r).isZero();
+    FINESSE_CHECK(ok1 || ok2, "neither sextic twist order divisible by r");
+    return ok1 ? n1 : n2;
+}
+
+} // namespace finesse

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Sextic-twist group-order computation from the Frobenius trace
+ * recurrence. Generic across BN/BLS families: no per-family cofactor
+ * formulas are needed.
+ */
+#ifndef FINESSE_CURVE_TWIST_H_
+#define FINESSE_CURVE_TWIST_H_
+
+#include "bigint/bigint.h"
+
+namespace finesse {
+
+/**
+ * Order of the correct sextic twist E'(F_{p^e}) (the one whose order is
+ * divisible by r), where E/Fp has trace t and e = k/6.
+ *
+ * Uses: t_e from the recurrence t_0 = 2, t_1 = t,
+ * t_{i+1} = t*t_i - p*t_{i-1}; the CM equation 4p^e = t_e^2 + 3f^2; and
+ * the two sextic twist orders p^e + 1 - (t_e +- 3f)/2.
+ */
+BigInt sexticTwistOrder(const BigInt &p, const BigInt &t, int e,
+                        const BigInt &r);
+
+} // namespace finesse
+
+#endif // FINESSE_CURVE_TWIST_H_

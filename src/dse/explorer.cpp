@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Explorer implementation.
+ */
+#include "dse/explorer.h"
+
+namespace finesse {
+
+namespace {
+
+void
+fillMetrics(DsePoint &p, const Framework &fw, const CompileResult &res,
+            int cores)
+{
+    p.instrs = res.instrs();
+    p.mulInstrs = res.prog.module.countUnit(UnitClass::Mul);
+    p.linInstrs = res.prog.module.countUnit(UnitClass::Linear);
+    p.compileSeconds = res.compileSeconds;
+
+    const CycleStats sim = simulateCycles(res.prog);
+    p.cycles = sim.totalCycles;
+    p.ipc = sim.ipc();
+
+    const AreaReport area = fw.area(res, cores);
+    p.areaMm2 = area.totalArea;
+
+    TimingModel timing;
+    p.criticalPathNs =
+        timing.criticalPathNs(fw.info().logP(), res.prog.hw.longLat);
+    p.freqMHz =
+        timing.frequencyMHz(fw.info().logP(), res.prog.hw.longLat);
+
+    p.latencyUs = static_cast<double>(p.cycles) / p.freqMHz;
+    p.throughputOps =
+        cores * p.freqMHz * 1e6 / static_cast<double>(p.cycles);
+    p.thptPerArea = p.throughputOps / p.areaMm2;
+}
+
+} // namespace
+
+DsePoint
+Explorer::evaluate(const CompileOptions &opt, int cores,
+                   const std::string &label) const
+{
+    DsePoint p;
+    p.label = label;
+    p.variants = opt.variants;
+    p.hw = opt.hw;
+    p.cores = cores;
+    const CompileResult res = fw_.compile(opt);
+    fillMetrics(p, fw_, res, cores);
+    return p;
+}
+
+DsePoint
+Explorer::evaluateModule(const Module &m, const PipelineModel &hw,
+                         int cores, const std::string &label) const
+{
+    DsePoint p;
+    p.label = label;
+    p.hw = hw;
+    p.cores = cores;
+    const CompileResult res = runBackend(m, hw, true);
+    fillMetrics(p, fw_, res, cores);
+    return p;
+}
+
+std::vector<int>
+Explorer::towerDegrees() const
+{
+    if (fw_.info().k == 24)
+        return {2, 4, 12, 24};
+    return {2, 6, 12};
+}
+
+std::vector<VariantConfig>
+Explorer::variantSpace(bool mulOnly) const
+{
+    const std::vector<int> degrees = towerDegrees();
+    std::vector<VariantConfig> space{VariantConfig{}};
+    auto expand = [&](auto fn) {
+        std::vector<VariantConfig> next;
+        for (const VariantConfig &base : space)
+            fn(base, next);
+        space = std::move(next);
+    };
+    for (int d : degrees) {
+        const bool cubic = d == 6 || (d == 12 && fw_.info().k == 24);
+        expand([&](const VariantConfig &base,
+                   std::vector<VariantConfig> &next) {
+            for (MulVariant mv :
+                 {MulVariant::Schoolbook, MulVariant::Karatsuba}) {
+                if (mulOnly) {
+                    VariantConfig cfg = base;
+                    cfg.levels[d].mul = mv;
+                    cfg.levels[d].sqr = cubic ? SqrVariant::CHSqr3
+                                              : SqrVariant::Complex;
+                    next.push_back(cfg);
+                    continue;
+                }
+                const std::vector<SqrVariant> sqrs =
+                    cubic ? std::vector<SqrVariant>{
+                                SqrVariant::Schoolbook,
+                                SqrVariant::CHSqr2, SqrVariant::CHSqr3}
+                          : std::vector<SqrVariant>{
+                                SqrVariant::Schoolbook,
+                                SqrVariant::Complex};
+                for (SqrVariant sv : sqrs) {
+                    VariantConfig cfg = base;
+                    cfg.levels[d] = {mv, sv};
+                    next.push_back(cfg);
+                }
+            }
+        });
+    }
+    return space;
+}
+
+VariantConfig
+Explorer::allKaratsuba() const
+{
+    VariantConfig cfg;
+    for (int d : towerDegrees()) {
+        const bool cubic = d == 6 || (d == 12 && fw_.info().k == 24);
+        cfg.levels[d] = {MulVariant::Karatsuba,
+                         cubic ? SqrVariant::CHSqr3 : SqrVariant::Complex};
+    }
+    return cfg;
+}
+
+VariantConfig
+Explorer::allSchoolbook() const
+{
+    VariantConfig cfg;
+    for (int d : towerDegrees())
+        cfg.levels[d] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+    return cfg;
+}
+
+VariantConfig
+Explorer::manualHeuristic() const
+{
+    // Single-issue heuristic (Sec. 2.2 / Fig. 2): Karatsuba saves Long
+    // instructions at high tower levels but its extra linear ops hurt
+    // low levels on single-issue pipelines -> Schoolbook below, CH-SQR/
+    // Karatsuba above.
+    VariantConfig cfg = allKaratsuba();
+    for (int d : towerDegrees()) {
+        if (d <= 4)
+            cfg.levels[d].mul = MulVariant::Schoolbook;
+    }
+    return cfg;
+}
+
+double
+Explorer::score(const DsePoint &p, Objective objective)
+{
+    switch (objective) {
+      case Objective::MinCycles:
+        return -static_cast<double>(p.cycles);
+      case Objective::MaxThroughput:
+        return p.throughputOps;
+      case Objective::MaxThptPerArea:
+        return p.thptPerArea;
+      case Objective::MinArea:
+        return -p.areaMm2;
+    }
+    return 0;
+}
+
+DsePoint
+Explorer::exploreVariants(const PipelineModel &hw, Objective objective,
+                          bool mulOnly) const
+{
+    DsePoint best;
+    bool first = true;
+    for (const VariantConfig &cfg : variantSpace(mulOnly)) {
+        CompileOptions opt;
+        opt.variants = cfg;
+        opt.hw = hw;
+        const DsePoint p = evaluate(opt, 1, "explored");
+        if (first || score(p, objective) > score(best, objective)) {
+            best = p;
+            first = false;
+        }
+    }
+    best.label = "optimal";
+    return best;
+}
+
+std::vector<PipelineModel>
+fig10HardwareModels()
+{
+    std::vector<PipelineModel> models;
+    {
+        PipelineModel deep; // L=38, S=8, single issue
+        models.push_back(deep);
+    }
+    for (int lin : {1, 2, 4, 6}) {
+        PipelineModel m;
+        m.longLat = 8;
+        m.shortLat = 2;
+        m.numLinUnits = lin;
+        m.issueWidth = lin > 1 ? lin + 1 : 1;
+        m.numBanks = std::max(m.issueWidth, 1);
+        m.writebackFifo = m.issueWidth > 1;
+        models.push_back(m);
+    }
+    return models;
+}
+
+} // namespace finesse

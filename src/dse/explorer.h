@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Design-space exploration (Sec. 3.6). The design space is the cross
+ * product of operator-variant combinations and hardware pipeline
+ * models; the co-design loop evaluates each point with the compiler +
+ * cycle simulator (cycle counts) and the area/timing models (silicon
+ * feedback), exactly the feedback structure of the paper, with the
+ * analytic models substituting for EDA runs.
+ */
+#ifndef FINESSE_DSE_EXPLORER_H_
+#define FINESSE_DSE_EXPLORER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace finesse {
+
+/** One evaluated point of the design space. */
+struct DsePoint
+{
+    std::string label;
+    VariantConfig variants;
+    PipelineModel hw;
+    int cores = 1;
+
+    // Compiler/simulator feedback.
+    size_t instrs = 0;
+    size_t mulInstrs = 0;
+    size_t linInstrs = 0;
+    i64 cycles = 0;
+    double ipc = 0;
+
+    // Area/timing feedback.
+    double areaMm2 = 0;
+    double freqMHz = 0;
+    double criticalPathNs = 0;
+
+    // Derived metrics.
+    double latencyUs = 0;
+    double throughputOps = 0;  ///< pairings per second (all cores)
+    double thptPerArea = 0;    ///< ops / s / mm^2
+
+    double compileSeconds = 0;
+};
+
+/** Objective helpers for exploration. */
+enum class Objective { MinCycles, MaxThroughput, MaxThptPerArea, MinArea };
+
+/** Explorer: evaluates and exhaustively searches design points. */
+class Explorer
+{
+  public:
+    explicit Explorer(const std::string &curveName)
+        : fw_(curveName), curve_(curveName)
+    {}
+
+    const Framework &framework() const { return fw_; }
+
+    /** Compile + simulate + model one design point. */
+    DsePoint evaluate(const CompileOptions &opt, int cores,
+                      const std::string &label) const;
+
+    /**
+     * Evaluate a hardware model against an already-traced module
+     * (reuses the front end across a hardware sweep).
+     */
+    DsePoint evaluateModule(const Module &m, const PipelineModel &hw,
+                            int cores, const std::string &label) const;
+
+    /**
+     * Exhaustive operator-variant space for this curve's tower
+     * (Table 5): mul in {Schoolbook, Karatsuba} and the applicable
+     * squaring variants per level. @p mulOnly restricts to
+     * multiplication variants (squarings fixed at defaults).
+     */
+    std::vector<VariantConfig> variantSpace(bool mulOnly) const;
+
+    /** All-Karatsuba / all-Schoolbook / manually-tuned presets. */
+    VariantConfig allKaratsuba() const;
+    VariantConfig allSchoolbook() const;
+    /** Heuristic tuned for single-issue pipelines (Fig. 10 "Manual"). */
+    VariantConfig manualHeuristic() const;
+
+    /**
+     * Exhaustive search over variant combinations for a fixed hardware
+     * model; returns the best point under @p objective (co-design
+     * inner loop).
+     */
+    DsePoint exploreVariants(const PipelineModel &hw, Objective objective,
+                             bool mulOnly = true) const;
+
+    /** Tower extension degrees of this curve (e.g. {2, 6, 12}). */
+    std::vector<int> towerDegrees() const;
+
+    static double score(const DsePoint &p, Objective objective);
+
+  private:
+    Framework fw_;
+    std::string curve_;
+};
+
+/**
+ * Standard hardware-model sweep of Fig. 10: single-issue deep pipeline
+ * plus progressively wider shallow-pipeline VLIW models.
+ */
+std::vector<PipelineModel> fig10HardwareModels();
+
+} // namespace finesse
+
+#endif // FINESSE_DSE_EXPLORER_H_

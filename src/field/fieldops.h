@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Generic helpers shared by every field element type (native or
+ * symbolic): small-scalar multiplication via linear-op chains and
+ * exponentiation by arbitrary big integers. These correspond to the
+ * paper's `muli` and `exp` IR operations: both lower to the linear/
+ * multiplicative ISA ops at compile time since scalars and exponents are
+ * curve constants.
+ */
+#ifndef FINESSE_FIELD_FIELDOPS_H_
+#define FINESSE_FIELD_FIELDOPS_H_
+
+#include "bigint/bigint.h"
+#include "support/common.h"
+
+namespace finesse {
+
+/**
+ * a * k for a small integer k, expressed with linear operations only
+ * (NEG/DBL/TPL/ADD/SUB chains) so that no modular multiplier is spent on
+ * constant scaling. Works for any element type.
+ */
+template <typename F>
+F
+muliSmall(const F &a, i64 k)
+{
+    if (k < 0)
+        return muliSmall(a, -k).neg();
+    switch (k) {
+      case 0:
+        return a.zeroLike();
+      case 1:
+        return a;
+      case 2:
+        return a.dbl();
+      case 3:
+        return a.tpl();
+      case 4:
+        return a.dbl().dbl();
+      case 5:
+        return a.dbl().dbl().add(a);
+      case 6:
+        return a.tpl().dbl();
+      case 8:
+        return a.dbl().dbl().dbl();
+      case 9:
+        return a.tpl().tpl();
+      case 12:
+        return a.tpl().dbl().dbl();
+      default:
+        break;
+    }
+    // Binary double-and-add from the most significant bit.
+    F acc = a;
+    int top = 63 - __builtin_clzll(static_cast<u64>(k));
+    for (int i = top - 1; i >= 0; --i) {
+        acc = acc.dbl();
+        if ((k >> i) & 1)
+            acc = acc.add(a);
+    }
+    return acc;
+}
+
+/** a^e by square-and-multiply for a non-negative big-integer exponent. */
+template <typename F>
+F
+powBig(const F &a, const BigInt &e)
+{
+    FINESSE_CHECK(!e.isNegative(), "powBig: negative exponent");
+    F result = a.oneLike();
+    for (int i = e.bitLength(); i-- > 0;) {
+        result = result.sqr();
+        if (e.bit(i))
+            result = result.mul(a);
+    }
+    return result;
+}
+
+} // namespace finesse
+
+#endif // FINESSE_FIELD_FIELDOPS_H_

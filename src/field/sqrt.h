@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Generic Tonelli-Shanks square root over any (native) finite field
+ * element type. Used by the curve module to sample points on E(Fp) and
+ * on the twist E'(Fp^(k/6)). Setup-time only; never traced/compiled.
+ */
+#ifndef FINESSE_FIELD_SQRT_H_
+#define FINESSE_FIELD_SQRT_H_
+
+#include <functional>
+
+#include "bigint/bigint.h"
+#include "field/fieldops.h"
+
+namespace finesse {
+
+/**
+ * Compute a square root of @p a in a field of order @p q (Tonelli-
+ * Shanks). @p sampleNonResidue produces random field elements used to
+ * locate a quadratic non-residue.
+ *
+ * @return true and set @p out when a root exists; false otherwise.
+ */
+template <typename F>
+bool
+trySqrt(const F &a, const BigInt &q, const std::function<F()> &sample,
+        F &out)
+{
+    if (a.isZero()) {
+        out = a;
+        return true;
+    }
+    const F one = a.oneLike();
+    const BigInt qm1 = q - BigInt(u64{1});
+    const BigInt legendreExp = qm1 >> 1;
+    if (!powBig(a, legendreExp).equals(one))
+        return false; // non-residue
+
+    // q - 1 = t * 2^s with t odd.
+    BigInt t = qm1;
+    int s = 0;
+    while (t.isEven()) {
+        t = t >> 1;
+        ++s;
+    }
+
+    // Find a quadratic non-residue z.
+    F z = one;
+    for (int tries = 0; tries < 256; ++tries) {
+        const F cand = sample();
+        if (cand.isZero())
+            continue;
+        if (!powBig(cand, legendreExp).equals(one)) {
+            z = cand;
+            break;
+        }
+        FINESSE_CHECK(tries < 255, "no quadratic non-residue found");
+    }
+
+    F c = powBig(z, t);
+    F x = powBig(a, (t + BigInt(u64{1})) >> 1);
+    F b = powBig(a, t);
+    int m = s;
+    while (!b.equals(one)) {
+        // Find least i with b^(2^i) = 1.
+        int i = 0;
+        F probe = b;
+        while (!probe.equals(one)) {
+            probe = probe.sqr();
+            ++i;
+            FINESSE_CHECK(i < m, "Tonelli-Shanks failed to converge");
+        }
+        F e = c;
+        for (int j = 0; j < m - i - 1; ++j)
+            e = e.sqr();
+        x = x.mul(e);
+        c = e.sqr();
+        b = b.mul(c);
+        m = i;
+    }
+    out = x;
+    return true;
+}
+
+} // namespace finesse
+
+#endif // FINESSE_FIELD_SQRT_H_

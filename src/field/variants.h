@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Operator-variant descriptors (Table 5 of the paper). A variant selects
+ * the arithmetic decomposition used when one tower level is expressed in
+ * terms of the level below (e.g. Karatsuba vs Schoolbook multiplication).
+ * The same variant tables drive both the native library and the compiler's
+ * lowering, which is how Finesse keeps software and hardware views
+ * consistent.
+ */
+#ifndef FINESSE_FIELD_VARIANTS_H_
+#define FINESSE_FIELD_VARIANTS_H_
+
+#include <map>
+#include <string>
+
+#include "support/common.h"
+
+namespace finesse {
+
+/** Multiplication decomposition for an extension level. */
+enum class MulVariant {
+    Schoolbook, ///< quadratic: 4M; cubic: 9M
+    Karatsuba,  ///< quadratic: 3M; cubic: 6M
+};
+
+/** Squaring decomposition for an extension level. */
+enum class SqrVariant {
+    Schoolbook, ///< quadratic: 2S+1M; cubic: 3S+3M
+    Complex,    ///< quadratic only: 2M
+    CHSqr2,     ///< cubic only: Chung-Hasan asymmetric squaring, variant 2
+    CHSqr3,     ///< cubic only: Chung-Hasan asymmetric squaring, variant 3
+};
+
+/** Point arithmetic coordinate system for curve operators. */
+enum class CoordSystem {
+    Jacobian,   ///< (X/Z^2, Y/Z^3)
+    Projective, ///< homogeneous (X/Z, Y/Z)
+};
+
+/** Variant choice for one tower level. */
+struct LevelVariants
+{
+    MulVariant mul = MulVariant::Karatsuba;
+    SqrVariant sqr = SqrVariant::Complex; // quadratic default
+};
+
+/**
+ * Full operator-variant combination: one entry per extension degree
+ * (2, 4, 6, 12, 24 as applicable to the curve's tower), plus the G2
+ * coordinate system. This is one axis of the co-design space (Sec. 3.6).
+ */
+struct VariantConfig
+{
+    std::map<int, LevelVariants> levels;
+    CoordSystem g2Coords = CoordSystem::Jacobian;
+    /** Granger-Scott squaring in the final-exponentiation hard part
+     *  (on by default: part of the paper's operator kit, Sec. 2.1). */
+    bool cyclotomicSqr = true;
+
+    /** Variants for degree @p d, defaulting when unspecified. */
+    LevelVariants
+    level(int d) const
+    {
+        auto it = levels.find(d);
+        if (it != levels.end())
+            return it->second;
+        LevelVariants lv;
+        // Default cubic squaring is CH-SQR3 (degree divisible by 3 over
+        // its base means the level is cubic).
+        lv.sqr = SqrVariant::Complex;
+        return lv;
+    }
+
+    /** All-Karatsuba configuration for the given tower degrees. */
+    static VariantConfig
+    allKaratsuba(std::initializer_list<int> degrees)
+    {
+        VariantConfig cfg;
+        for (int d : degrees)
+            cfg.levels[d] = {MulVariant::Karatsuba, SqrVariant::Complex};
+        return cfg;
+    }
+
+    /** All-Schoolbook configuration for the given tower degrees. */
+    static VariantConfig
+    allSchoolbook(std::initializer_list<int> degrees)
+    {
+        VariantConfig cfg;
+        for (int d : degrees)
+            cfg.levels[d] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+        return cfg;
+    }
+};
+
+/** Human-readable variant names (for DSE reports). */
+inline const char *
+toString(MulVariant v)
+{
+    switch (v) {
+      case MulVariant::Schoolbook:
+        return "schoolbook";
+      case MulVariant::Karatsuba:
+        return "karatsuba";
+    }
+    return "?";
+}
+
+inline const char *
+toString(SqrVariant v)
+{
+    switch (v) {
+      case SqrVariant::Schoolbook:
+        return "schoolbook";
+      case SqrVariant::Complex:
+        return "complex";
+      case SqrVariant::CHSqr2:
+        return "ch-sqr2";
+      case SqrVariant::CHSqr3:
+        return "ch-sqr3";
+    }
+    return "?";
+}
+
+inline const char *
+toString(CoordSystem c)
+{
+    return c == CoordSystem::Jacobian ? "jacobian" : "projective";
+}
+
+} // namespace finesse
+
+#endif // FINESSE_FIELD_VARIANTS_H_

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parameterized hardware pipeline model (Sec. 3.2/3.3 of the paper).
+ * Describes instruction itineraries (Long/Short/Inv latencies), issue
+ * width (VLIW), ALU counts, register-bank configuration and the
+ * write-back ring buffer (FIFO). Consumed by the scheduler (as
+ * constraints) and the cycle-accurate simulator (as timing ground
+ * truth); the area/timing models translate the same parameters into
+ * silicon estimates for the co-design loop.
+ */
+#ifndef FINESSE_HWMODEL_PIPELINE_H_
+#define FINESSE_HWMODEL_PIPELINE_H_
+
+#include <sstream>
+#include <string>
+
+#include "ir/ir.h"
+#include "support/common.h"
+
+namespace finesse {
+
+/** Hardware pipeline parameters. */
+struct PipelineModel
+{
+    // Itineraries (cycles).
+    int longLat = 38;  ///< fully-pipelined modular multiplier depth
+    int shortLat = 8;  ///< linear-unit depth
+    int invLat = 900;  ///< iterative inversion unit latency
+
+    // Issue/datapath shape.
+    int issueWidth = 1;  ///< ops per VLIW bundle (1 = single issue)
+    int numLinUnits = 1; ///< parallel linear (Short) units
+    // Paper constraint: at most one mmul unit per core.
+
+    // Register banks.
+    int numBanks = 1;
+    int readsPerBank = 2;
+    int writesPerBank = 1;
+
+    // Write-back ring buffer (the paper's HW2 feature, Table 7).
+    bool writebackFifo = false;
+    int fifoDepth = 8;
+
+    // Issue-slot affinity tuning parameter (Sec. 3.5).
+    double beta = 0.05;
+
+    /** Latency of one op under this model. */
+    int
+    latency(Op op) const
+    {
+        switch (unitOf(op)) {
+          case UnitClass::Linear:
+            return shortLat;
+          case UnitClass::Mul:
+            return longLat;
+          case UnitClass::Inv:
+            return invLat;
+          case UnitClass::None:
+            return 1;
+        }
+        return 1;
+    }
+
+    /** Validate the paper's structural constraints. */
+    void
+    validate() const
+    {
+        FINESSE_REQUIRE(longLat > shortLat,
+                        "Long latency must exceed Short");
+        FINESSE_REQUIRE(issueWidth >= 1 && numLinUnits >= 1);
+        FINESSE_REQUIRE(numBanks >= issueWidth,
+                        "need at least as many banks as issue width");
+        FINESSE_REQUIRE(readsPerBank >= 2 && writesPerBank >= 1,
+                        "banks must support 2R1W per cycle");
+        FINESSE_REQUIRE(issueWidth == 1 || writebackFifo,
+                        "VLIW architectures require write-back FIFOs");
+    }
+
+    std::string
+    describe() const
+    {
+        std::ostringstream os;
+        os << "L=" << longLat << ",S=" << shortLat << ",W=" << issueWidth
+           << ",#Lin=" << numLinUnits << ",banks=" << numBanks
+           << (writebackFifo ? ",fifo" : "");
+        return os.str();
+    }
+
+    /** The paper's default evaluation model: Long=38, Short=8, 2R1W. */
+    static PipelineModel
+    paperDefault()
+    {
+        return PipelineModel{};
+    }
+};
+
+} // namespace finesse
+
+#endif // FINESSE_HWMODEL_PIPELINE_H_

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * HIR printing, verification and quadratic-level lowering.
+ */
+#include "ir/hir.h"
+
+#include <map>
+#include <sstream>
+
+namespace finesse {
+
+const char *
+toString(HirOp op)
+{
+    switch (op) {
+      case HirOp::Add: return "add";
+      case HirOp::Sub: return "sub";
+      case HirOp::MulI: return "muli";
+      case HirOp::Mul: return "mul";
+      case HirOp::Sqr: return "sqr";
+      case HirOp::Exp: return "exp";
+      case HirOp::Adj: return "adj";
+      case HirOp::Conj: return "conj";
+      case HirOp::Frob: return "frob";
+      case HirOp::PAdd: return "padd";
+      case HirOp::PMul: return "pmul";
+    }
+    return "?";
+}
+
+std::string
+HirModule::print() const
+{
+    std::ostringstream os;
+    for (const HirInst &inst : body) {
+        const HirType &rt = valueTypes[inst.dst];
+        os << "%" << inst.dst << " = " << rt.name() << "."
+           << toString(inst.op) << "(";
+        bool first = true;
+        auto arg = [&](i32 v) {
+            if (!first)
+                os << ", ";
+            os << "%" << v << ": " << valueTypes[v].name();
+            first = false;
+        };
+        if (inst.op == HirOp::MulI || inst.op == HirOp::PMul) {
+            os << inst.imm;
+            first = false;
+        }
+        if (inst.a >= 0)
+            arg(inst.a);
+        if (inst.b >= 0)
+            arg(inst.b);
+        if (inst.op == HirOp::Exp || inst.op == HirOp::Frob)
+            os << ", " << inst.imm;
+        os << ") -> " << rt.name() << "\n";
+    }
+    return os.str();
+}
+
+void
+HirModule::verify() const
+{
+    auto fieldLike = [&](i32 v) {
+        FINESSE_CHECK(v >= 0 &&
+                      static_cast<size_t>(v) < valueTypes.size());
+        FINESSE_CHECK(valueTypes[v].kind == HirType::Kind::Field,
+                      "field operand expected");
+    };
+    for (const HirInst &inst : body) {
+        switch (inst.op) {
+          case HirOp::Add:
+          case HirOp::Sub:
+          case HirOp::Mul:
+            fieldLike(inst.a);
+            fieldLike(inst.b);
+            FINESSE_CHECK(valueTypes[inst.a].dim ==
+                          valueTypes[inst.b].dim);
+            break;
+          case HirOp::Sqr:
+          case HirOp::MulI:
+          case HirOp::Exp:
+          case HirOp::Adj:
+          case HirOp::Conj:
+          case HirOp::Frob:
+            fieldLike(inst.a);
+            break;
+          case HirOp::PAdd:
+            FINESSE_CHECK(valueTypes[inst.a].kind ==
+                          HirType::Kind::Point);
+            FINESSE_CHECK(valueTypes[inst.b].kind ==
+                          HirType::Kind::Point);
+            break;
+          case HirOp::PMul:
+            FINESSE_CHECK(valueTypes[inst.a].kind ==
+                          HirType::Kind::Point);
+            break;
+        }
+    }
+}
+
+HirModule
+lowerQuadLevel(const HirModule &m, int dim, const LevelVariants &variants)
+{
+    FINESSE_REQUIRE(dim % 2 == 0, "quadratic lowering needs even dim");
+    const int half = dim / 2;
+    const HirType halfT{HirType::Kind::Field, half};
+
+    HirModule out;
+    // Map: old value -> (c0, c1) at the lower level, or passthrough id.
+    std::map<i32, std::pair<i32, i32>> split;
+    std::map<i32, i32> passthrough;
+
+    auto mapIn = [&](i32 v) {
+        const HirType &t = m.valueTypes[v];
+        if (t.kind == HirType::Kind::Field && t.dim == dim) {
+            if (!split.count(v)) {
+                // Inputs split lazily.
+                const i32 c0 = out.input(halfT);
+                const i32 c1 = out.input(halfT);
+                split[v] = {c0, c1};
+            }
+            return;
+        }
+        if (!passthrough.count(v)) {
+            const i32 nv = out.input(t);
+            passthrough[v] = nv;
+        }
+    };
+    for (i32 v : m.inputs)
+        mapIn(v);
+
+    auto lo = [&](i32 v) { return split.at(v); };
+
+    for (const HirInst &inst : m.body) {
+        const HirType &rt = m.valueTypes[inst.dst];
+        const bool atLevel =
+            rt.kind == HirType::Kind::Field && rt.dim == dim;
+        if (!atLevel) {
+            // Pass through (operands must not be at the lowered level).
+            HirInst copy = inst;
+            auto remap = [&](i32 v) {
+                if (v < 0)
+                    return v;
+                if (passthrough.count(v))
+                    return passthrough.at(v);
+                return v; // defined earlier in `out` with same id: re-emit
+            };
+            copy.a = remap(copy.a);
+            copy.b = remap(copy.b);
+            copy.dst = out.newValue(rt);
+            passthrough[inst.dst] = copy.dst;
+            out.body.push_back(copy);
+            continue;
+        }
+
+        auto emit = [&](HirOp op, i32 a, i32 b = -1, i64 imm = 0) {
+            return out.emit(op, halfT, a, b, imm);
+        };
+        std::pair<i32, i32> res;
+        switch (inst.op) {
+          case HirOp::Add: {
+            auto [a0, a1] = lo(inst.a);
+            auto [b0, b1] = lo(inst.b);
+            res = {emit(HirOp::Add, a0, b0), emit(HirOp::Add, a1, b1)};
+            break;
+          }
+          case HirOp::Sub: {
+            auto [a0, a1] = lo(inst.a);
+            auto [b0, b1] = lo(inst.b);
+            res = {emit(HirOp::Sub, a0, b0), emit(HirOp::Sub, a1, b1)};
+            break;
+          }
+          case HirOp::MulI: {
+            auto [a0, a1] = lo(inst.a);
+            res = {emit(HirOp::MulI, a0, -1, inst.imm),
+                   emit(HirOp::MulI, a1, -1, inst.imm)};
+            break;
+          }
+          case HirOp::Conj: {
+            auto [a0, a1] = lo(inst.a);
+            res = {a0, emit(HirOp::MulI, a1, -1, -1)};
+            break;
+          }
+          case HirOp::Adj: {
+            // (a0 + a1 w) * w = adj(a1) + a0 w  (w^2 = lower adjoined).
+            auto [a0, a1] = lo(inst.a);
+            res = {emit(HirOp::Adj, a1), a0};
+            break;
+          }
+          case HirOp::Mul: {
+            auto [a0, a1] = lo(inst.a);
+            auto [b0, b1] = lo(inst.b);
+            if (variants.mul == MulVariant::Karatsuba) {
+                const i32 t0 = emit(HirOp::Add, a0, a1);
+                const i32 t1 = emit(HirOp::Add, b0, b1);
+                const i32 m0 = emit(HirOp::Mul, a0, b0);
+                const i32 m1 = emit(HirOp::Mul, a1, b1);
+                const i32 m2 = emit(HirOp::Mul, t0, t1);
+                const i32 t2 = emit(HirOp::Add, m0, m1);
+                const i32 m1a = emit(HirOp::Adj, m1);
+                res = {emit(HirOp::Add, m0, m1a),
+                       emit(HirOp::Sub, m2, t2)};
+            } else {
+                const i32 m00 = emit(HirOp::Mul, a0, b0);
+                const i32 m11 = emit(HirOp::Mul, a1, b1);
+                const i32 m01 = emit(HirOp::Mul, a0, b1);
+                const i32 m10 = emit(HirOp::Mul, a1, b0);
+                res = {emit(HirOp::Add, m00, emit(HirOp::Adj, m11)),
+                       emit(HirOp::Add, m01, m10)};
+            }
+            break;
+          }
+          case HirOp::Sqr: {
+            auto [a0, a1] = lo(inst.a);
+            if (variants.sqr == SqrVariant::Complex) {
+                const i32 v0 = emit(HirOp::Mul, a0, a1);
+                const i32 s = emit(HirOp::Add, a0, a1);
+                const i32 t = emit(HirOp::Add, a0, emit(HirOp::Adj, a1));
+                const i32 st = emit(HirOp::Mul, s, t);
+                const i32 sub1 = emit(HirOp::Sub, st, v0);
+                res = {emit(HirOp::Sub, sub1, emit(HirOp::Adj, v0)),
+                       emit(HirOp::MulI, v0, -1, 2)};
+            } else {
+                const i32 s0 = emit(HirOp::Sqr, a0);
+                const i32 s1 = emit(HirOp::Sqr, a1);
+                const i32 v = emit(HirOp::Mul, a0, a1);
+                res = {emit(HirOp::Add, s0, emit(HirOp::Adj, s1)),
+                       emit(HirOp::MulI, v, -1, 2)};
+            }
+            break;
+          }
+          default:
+            panic("unsupported HIR op for quadratic lowering: ",
+                  toString(inst.op));
+        }
+        split[inst.dst] = res;
+    }
+
+    for (i32 v : m.outputs) {
+        const HirType &t = m.valueTypes[v];
+        if (t.kind == HirType::Kind::Field && t.dim == dim) {
+            out.outputs.push_back(split.at(v).first);
+            out.outputs.push_back(split.at(v).second);
+        } else {
+            out.outputs.push_back(passthrough.at(v));
+        }
+    }
+    out.verify();
+    return out;
+}
+
+} // namespace finesse

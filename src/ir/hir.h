@@ -1,0 +1,122 @@
+/**
+ * @file
+ * High-level typed IR over algebraic objects (Table 4 of the paper):
+ * operations on fp / fpd / ep / epd values with explicit cross-level
+ * lowering (Figure 4). The production compiler pipeline lowers directly
+ * to the Fp level by re-tracing the shared formula templates
+ * (compiler/codegen.h); this HIR materializes the intermediate levels
+ * for inspection, tooling and documentation — the "clear
+ * representations" of the paper's abstraction system.
+ */
+#ifndef FINESSE_IR_HIR_H_
+#define FINESSE_IR_HIR_H_
+
+#include <string>
+#include <vector>
+
+#include "field/variants.h"
+#include "support/common.h"
+
+namespace finesse {
+
+/** Value type: field element of extension dimension dim over Fp, or a
+ *  curve point with coordinates in that field. */
+struct HirType
+{
+    enum class Kind { Field, Point };
+
+    Kind kind = Kind::Field;
+    int dim = 1; ///< extension dimension over Fp (1 = fp)
+
+    std::string
+    name() const
+    {
+        const std::string base =
+            (kind == Kind::Field ? "fp" : "ep");
+        return dim == 1 ? base : base + std::to_string(dim);
+    }
+
+    bool
+    operator==(const HirType &o) const
+    {
+        return kind == o.kind && dim == o.dim;
+    }
+};
+
+/** Table 4 operations. */
+enum class HirOp {
+    Add,  ///< field addition            (fp-like, fp-like)
+    Sub,  ///< field subtraction         (fp-like, fp-like)
+    MulI, ///< field scalar multiply     (int, fp-like)
+    Mul,  ///< field multiplication      (fp-like, fp-like)
+    Sqr,  ///< field squaring            (fp-like)
+    Exp,  ///< field exponentiation      (fp-like, int)
+    Adj,  ///< multiply by adjoined el.  (fpd)
+    Conj, ///< conjugate w.r.t. adjoined (fpd)
+    Frob, ///< Frobenius endomorphism    (fp-like, int)
+    PAdd, ///< curve point addition      (ep-like, ep-like)
+    PMul, ///< curve scalar multiply     (int, ep-like)
+};
+
+const char *toString(HirOp op);
+
+/** One HIR instruction in SSA form. */
+struct HirInst
+{
+    HirOp op;
+    i32 dst = -1;
+    i32 a = -1, b = -1;
+    i64 imm = 0; ///< scalar for MulI/Exp/Frob/PMul
+};
+
+/** A straight-line HIR block. */
+struct HirModule
+{
+    std::vector<HirType> valueTypes; ///< per value id
+    std::vector<HirInst> body;
+    std::vector<i32> inputs;
+    std::vector<i32> outputs;
+
+    i32
+    newValue(HirType t)
+    {
+        valueTypes.push_back(t);
+        return static_cast<i32>(valueTypes.size() - 1);
+    }
+
+    i32
+    input(HirType t)
+    {
+        const i32 v = newValue(t);
+        inputs.push_back(v);
+        return v;
+    }
+
+    i32
+    emit(HirOp op, HirType resultType, i32 a, i32 b = -1, i64 imm = 0)
+    {
+        const i32 dst = newValue(resultType);
+        body.push_back({op, dst, a, b, imm});
+        return dst;
+    }
+
+    /** Paper-style textual rendering (Figure 4). */
+    std::string print() const;
+
+    /** Type-check all instructions; panics on violations. */
+    void verify() const;
+};
+
+/**
+ * Lower every dimension-@p dim field operation one tower level down a
+ * quadratic extension (dim -> dim/2), splitting each dim-valued SSA
+ * value into two dim/2-valued coefficients and expanding mul/sqr with
+ * the selected operator variant (the Figure 4 "map_lowering" step).
+ * Other instructions pass through unchanged.
+ */
+HirModule lowerQuadLevel(const HirModule &m, int dim,
+                         const LevelVariants &variants);
+
+} // namespace finesse
+
+#endif // FINESSE_IR_HIR_H_

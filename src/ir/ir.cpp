@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Module printing and structural verification.
+ */
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "support/common.h"
+
+namespace finesse {
+
+std::string
+Module::print(size_t maxInstrs) const
+{
+    std::ostringstream os;
+    os << "module: " << body.size() << " instrs, " << numValues
+       << " values, " << constants.size() << " constants, "
+       << inputs.size() << " inputs, " << outputs.size() << " outputs\n";
+    for (size_t i = 0; i < body.size() && i < maxInstrs; ++i) {
+        const Inst &inst = body[i];
+        os << "  %" << inst.dst << " = " << toString(inst.op);
+        if (inst.a >= 0)
+            os << " %" << inst.a;
+        if (inst.b >= 0)
+            os << " %" << inst.b;
+        os << "\n";
+    }
+    if (body.size() > maxInstrs)
+        os << "  ... (" << body.size() - maxInstrs << " more)\n";
+    return os.str();
+}
+
+void
+Module::verify() const
+{
+    std::vector<u8> defined(numValues, 0);
+    for (const auto &c : constants) {
+        FINESSE_CHECK(c.id >= 0 && c.id < numValues, "const id range");
+        FINESSE_CHECK(!defined[c.id], "constant redefined");
+        defined[c.id] = 1;
+    }
+    for (i32 in : inputs) {
+        FINESSE_CHECK(in >= 0 && in < numValues, "input id range");
+        FINESSE_CHECK(!defined[in], "input redefined");
+        defined[in] = 1;
+    }
+    for (const auto &inst : body) {
+        const int n = arity(inst.op);
+        FINESSE_CHECK(n < 1 || (inst.a >= 0 && inst.a < numValues),
+                      "operand a range");
+        FINESSE_CHECK(n < 2 || (inst.b >= 0 && inst.b < numValues),
+                      "operand b range");
+        FINESSE_CHECK(n < 1 || defined[inst.a], "use before def: %",
+                      inst.a);
+        FINESSE_CHECK(n < 2 || defined[inst.b], "use before def: %",
+                      inst.b);
+        FINESSE_CHECK(inst.dst >= 0 && inst.dst < numValues, "dst range");
+        FINESSE_CHECK(!defined[inst.dst], "SSA violation: %", inst.dst);
+        defined[inst.dst] = 1;
+    }
+    for (i32 out : outputs)
+        FINESSE_CHECK(out >= 0 && out < numValues && defined[out],
+                      "undefined output %", out);
+}
+
+} // namespace finesse

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fp-level SSA intermediate representation.
+ *
+ * After CodeGen fully unrolls the pairing (loop bounds are curve
+ * constants), a program is one straight-line basic block of Fp
+ * operations in SSA form, exactly the representation the paper's
+ * compiler pipeline operates on. Values are dense integer ids; the
+ * constant pool and the input/output maps make a Module self-contained
+ * and executable by the functional simulator.
+ */
+#ifndef FINESSE_IR_IR_H_
+#define FINESSE_IR_IR_H_
+
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace finesse {
+
+/** Which part of the pairing a trace covers. */
+enum class TracePart { Full, MillerOnly, FinalExpOnly };
+
+/** Machine operations of the Fp-level ISA (Sec. 3.2 of the paper). */
+enum class Op : u8 {
+    Nop,
+    // Linear operations (Short pipeline unit).
+    Neg,
+    Dbl,
+    Tpl,
+    Add,
+    Sub,
+    // Multiplicative operations (Long pipeline unit).
+    Sqr,
+    Mul,
+    // Inverse (iterative unit).
+    Inv,
+    // I/O format conversions (Short).
+    Cvt,
+    Icv,
+};
+
+/** Unit class an op executes on. */
+enum class UnitClass { Linear, Mul, Inv, None };
+
+inline UnitClass
+unitOf(Op op)
+{
+    switch (op) {
+      case Op::Neg:
+      case Op::Dbl:
+      case Op::Tpl:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Cvt:
+      case Op::Icv:
+        return UnitClass::Linear;
+      case Op::Sqr:
+      case Op::Mul:
+        return UnitClass::Mul;
+      case Op::Inv:
+        return UnitClass::Inv;
+      case Op::Nop:
+        return UnitClass::None;
+    }
+    return UnitClass::None;
+}
+
+inline const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Neg: return "neg";
+      case Op::Dbl: return "dbl";
+      case Op::Tpl: return "tpl";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Sqr: return "sqr";
+      case Op::Mul: return "mul";
+      case Op::Inv: return "inv";
+      case Op::Cvt: return "cvt";
+      case Op::Icv: return "icv";
+    }
+    return "?";
+}
+
+/** Number of register operands read by an op. */
+inline int
+arity(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        return 2;
+      case Op::Nop:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+/** One SSA instruction: dst = op(a, b). Unused operands are -1. */
+struct Inst
+{
+    Op op = Op::Nop;
+    i32 dst = -1;
+    i32 a = -1;
+    i32 b = -1;
+};
+
+/** A constant-pool entry. */
+struct ConstEntry
+{
+    i32 id;
+    BigInt value;
+};
+
+/** Straight-line SSA program over Fp. */
+struct Module
+{
+    BigInt p;              ///< base field modulus
+    i32 numValues = 0;     ///< total SSA ids (constants+inputs+defs)
+    std::vector<Inst> body;
+    std::vector<i32> inputs;      ///< raw input ids (pre-ICV)
+    std::vector<i32> outputs;     ///< output ids (post-CVT)
+    std::vector<ConstEntry> constants;
+
+    /** Instruction count (excluding nothing; constants are not instrs). */
+    size_t size() const { return body.size(); }
+
+    /** Count instructions by unit class. */
+    size_t
+    countUnit(UnitClass u) const
+    {
+        size_t n = 0;
+        for (const auto &inst : body)
+            n += unitOf(inst.op) == u;
+        return n;
+    }
+
+    size_t
+    countOp(Op op) const
+    {
+        size_t n = 0;
+        for (const auto &inst : body)
+            n += inst.op == op;
+        return n;
+    }
+
+    /** Render a (possibly truncated) textual listing. */
+    std::string print(size_t maxInstrs = 64) const;
+
+    /**
+     * Structural validation: SSA single assignment, operands defined
+     * before use, arity respected, outputs defined. Panics on failure.
+     */
+    void verify() const;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_IR_IR_H_

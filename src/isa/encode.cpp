@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Instruction encoder/decoder implementation.
+ */
+#include "isa/encode.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace finesse {
+
+namespace {
+
+int
+bitsFor(i32 maxValue)
+{
+    if (maxValue <= 0)
+        return 0;
+    int bits = 1;
+    while ((i64{1} << bits) <= maxValue)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+EncodedProgram::DecodedOp
+EncodedProgram::decode(u64 word) const
+{
+    const int fieldBits = bankBits + regBits;
+    const u64 fieldMask = (u64{1} << fieldBits) - 1;
+    const u64 regMask = (u64{1} << regBits) - 1;
+    DecodedOp d;
+    d.op = static_cast<Op>(word >> (3 * fieldBits));
+    auto unpack = [&](int slot) {
+        const u64 f = (word >> (slot * fieldBits)) & fieldMask;
+        return RegLoc{static_cast<i32>(f >> regBits),
+                      static_cast<i32>(f & regMask)};
+    };
+    d.dst = unpack(2);
+    d.a = unpack(1);
+    d.b = unpack(0);
+    return d;
+}
+
+std::string
+EncodedProgram::disassemble(size_t maxWords) const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < words.size() && i < maxWords; ++i) {
+        const DecodedOp d = decode(words[i]);
+        os << std::hex << std::setw(wordBits / 4) << std::setfill('0')
+           << words[i] << std::dec << "  " << toString(d.op);
+        if (d.op != Op::Nop) {
+            os << " r" << d.dst.bank << ":" << d.dst.reg;
+            if (arity(d.op) >= 1)
+                os << ", r" << d.a.bank << ":" << d.a.reg;
+            if (arity(d.op) >= 2)
+                os << ", r" << d.b.bank << ":" << d.b.reg;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+EncodedProgram
+encodeProgram(const CompiledProgram &prog)
+{
+    const Module &m = prog.module;
+    EncodedProgram enc;
+    enc.issueWidth = prog.hw.issueWidth;
+    enc.bankBits = bitsFor(prog.banks.numBanks - 1);
+    enc.regBits =
+        std::max(bitsFor(std::max<i32>(prog.regs.maxRegs() - 1, 1)), 1);
+    const int fieldBits = enc.bankBits + enc.regBits;
+    enc.wordBits = enc.opBits + 3 * fieldBits <= 32 ? 32 : 64;
+    FINESSE_REQUIRE(enc.opBits + 3 * fieldBits <= 64,
+                    "register pressure exceeds 64-bit encoding");
+
+    auto loc = [&](i32 valueId) {
+        return RegLoc{prog.banks.bankOf[valueId],
+                      prog.regs.regOf[valueId]};
+    };
+    auto pack = [&](Op op, RegLoc dst, RegLoc a, RegLoc b) {
+        auto field = [&](RegLoc r) {
+            return (static_cast<u64>(r.bank) << enc.regBits) |
+                   static_cast<u64>(r.reg);
+        };
+        return (static_cast<u64>(op) << (3 * fieldBits)) |
+               (field(dst) << (2 * fieldBits)) |
+               (field(a) << fieldBits) | field(b);
+    };
+
+    enc.numBundles = prog.schedule.bundles.size();
+    enc.words.reserve(enc.numBundles * enc.issueWidth);
+    for (const Bundle &bundle : prog.schedule.bundles) {
+        for (int s = 0; s < enc.issueWidth; ++s) {
+            if (s < static_cast<int>(bundle.instIdx.size())) {
+                const Inst &inst = m.body[bundle.instIdx[s]];
+                const RegLoc a = inst.a >= 0 ? loc(inst.a) : RegLoc{};
+                const RegLoc b = inst.b >= 0 ? loc(inst.b) : RegLoc{};
+                enc.words.push_back(pack(inst.op, loc(inst.dst), a, b));
+            } else {
+                enc.words.push_back(pack(Op::Nop, {}, {}, {}));
+            }
+        }
+    }
+
+    for (const auto &c : m.constants)
+        enc.constPool.push_back({loc(c.id), c.value});
+    for (i32 in : m.inputs)
+        enc.inputRegs.push_back(loc(in));
+    for (i32 out : m.outputs)
+        enc.outputRegs.push_back(loc(out));
+    return enc;
+}
+
+} // namespace finesse

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary encoding of compiled programs (the paper's ASM + Link stages).
+ * Instruction words are op | dst | src1 | src2 with bank-qualified
+ * register fields; the word width adapts (32 or 64 bits) to the
+ * register pressure of the program, mirroring the paper's
+ * parameterized instruction memory. The encoded size feeds the IMem
+ * area model; the constant pool and I/O register maps form the DMem
+ * preload image.
+ */
+#ifndef FINESSE_ISA_ENCODE_H_
+#define FINESSE_ISA_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+
+namespace finesse {
+
+/** A (bank, register) physical location. */
+struct RegLoc
+{
+    i32 bank = 0;
+    i32 reg = 0;
+};
+
+struct EncodedProgram
+{
+    int opBits = 5;
+    int bankBits = 0;
+    int regBits = 0;
+    int wordBits = 32;     ///< 32 or 64
+    int issueWidth = 1;
+    size_t numBundles = 0;
+    std::vector<u64> words; ///< bundle-major, issueWidth words/bundle
+
+    struct PoolEntry
+    {
+        RegLoc loc;
+        BigInt value;
+    };
+    std::vector<PoolEntry> constPool; ///< DMem preload image
+    std::vector<RegLoc> inputRegs, outputRegs;
+
+    /** Instruction memory footprint in bits. */
+    size_t imemBits() const { return words.size() * wordBits; }
+
+    /** Decode one word (for disassembly and binary-level execution). */
+    struct DecodedOp
+    {
+        Op op;
+        RegLoc dst, a, b;
+    };
+    DecodedOp decode(u64 word) const;
+
+    std::string disassemble(size_t maxWords = 32) const;
+};
+
+/** Encode a compiled program. */
+EncodedProgram encodeProgram(const CompiledProgram &prog);
+
+} // namespace finesse
+
+#endif // FINESSE_ISA_ENCODE_H_

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Program-image serialization implementation.
+ */
+#include "isa/progio.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace finesse {
+
+namespace {
+
+constexpr const char *kMagic = "FINESSE-PROG v1";
+
+std::string
+expectLine(std::istream &is, const char *what)
+{
+    std::string line;
+    FINESSE_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                    "program image truncated while reading ", what);
+    return line;
+}
+
+} // namespace
+
+void
+writeProgram(std::ostream &os, const EncodedProgram &prog, const BigInt &p)
+{
+    os << kMagic << "\n";
+    os << "p " << p.toHexString() << "\n";
+    os << "shape " << prog.opBits << " " << prog.bankBits << " "
+       << prog.regBits << " " << prog.wordBits << " " << prog.issueWidth
+       << " " << prog.numBundles << "\n";
+    os << "words " << prog.words.size() << "\n";
+    os << std::hex;
+    for (u64 w : prog.words)
+        os << w << "\n";
+    os << std::dec;
+    os << "consts " << prog.constPool.size() << "\n";
+    for (const auto &c : prog.constPool) {
+        os << c.loc.bank << " " << c.loc.reg << " "
+           << c.value.toHexString() << "\n";
+    }
+    auto ioSection = [&](const char *name,
+                         const std::vector<RegLoc> &regs) {
+        os << name << " " << regs.size() << "\n";
+        for (const RegLoc &loc : regs)
+            os << loc.bank << " " << loc.reg << "\n";
+    };
+    ioSection("inputs", prog.inputRegs);
+    ioSection("outputs", prog.outputRegs);
+}
+
+EncodedProgram
+readProgram(std::istream &is, BigInt &pOut)
+{
+    FINESSE_REQUIRE(expectLine(is, "magic") == kMagic,
+                    "not a Finesse program image");
+    EncodedProgram prog;
+    {
+        std::istringstream ls(expectLine(is, "modulus"));
+        std::string tag, hex;
+        ls >> tag >> hex;
+        FINESSE_REQUIRE(tag == "p", "expected modulus line");
+        pOut = BigInt::fromString(hex);
+    }
+    {
+        std::istringstream ls(expectLine(is, "shape"));
+        std::string tag;
+        ls >> tag >> prog.opBits >> prog.bankBits >> prog.regBits >>
+            prog.wordBits >> prog.issueWidth >> prog.numBundles;
+        FINESSE_REQUIRE(tag == "shape" && !ls.fail(),
+                        "bad shape line");
+    }
+    size_t numWords = 0;
+    {
+        std::istringstream ls(expectLine(is, "words header"));
+        std::string tag;
+        ls >> tag >> numWords;
+        FINESSE_REQUIRE(tag == "words" && !ls.fail(),
+                        "bad words header");
+    }
+    prog.words.reserve(numWords);
+    for (size_t i = 0; i < numWords; ++i) {
+        std::istringstream ls(expectLine(is, "word"));
+        u64 w = 0;
+        ls >> std::hex >> w;
+        FINESSE_REQUIRE(!ls.fail(), "bad instruction word");
+        prog.words.push_back(w);
+    }
+    size_t numConsts = 0;
+    {
+        std::istringstream ls(expectLine(is, "consts header"));
+        std::string tag;
+        ls >> tag >> numConsts;
+        FINESSE_REQUIRE(tag == "consts" && !ls.fail(),
+                        "bad consts header");
+    }
+    for (size_t i = 0; i < numConsts; ++i) {
+        std::istringstream ls(expectLine(is, "const"));
+        EncodedProgram::PoolEntry e;
+        std::string hex;
+        ls >> e.loc.bank >> e.loc.reg >> hex;
+        FINESSE_REQUIRE(!ls.fail(), "bad const entry");
+        e.value = BigInt::fromString(hex);
+        prog.constPool.push_back(std::move(e));
+    }
+    auto ioSection = [&](const char *name, std::vector<RegLoc> &regs) {
+        std::istringstream ls(expectLine(is, name));
+        std::string tag;
+        size_t count = 0;
+        ls >> tag >> count;
+        FINESSE_REQUIRE(tag == name && !ls.fail(), "bad ", name,
+                        " header");
+        for (size_t i = 0; i < count; ++i) {
+            std::istringstream el(expectLine(is, "io entry"));
+            RegLoc loc;
+            el >> loc.bank >> loc.reg;
+            FINESSE_REQUIRE(!el.fail(), "bad io entry");
+            regs.push_back(loc);
+        }
+    };
+    ioSection("inputs", prog.inputRegs);
+    ioSection("outputs", prog.outputRegs);
+    return prog;
+}
+
+void
+saveProgramFile(const std::string &path, const EncodedProgram &prog,
+                const BigInt &p)
+{
+    std::ofstream os(path);
+    FINESSE_REQUIRE(static_cast<bool>(os), "cannot write ", path);
+    writeProgram(os, prog, p);
+}
+
+EncodedProgram
+loadProgramFile(const std::string &path, BigInt &pOut)
+{
+    std::ifstream is(path);
+    FINESSE_REQUIRE(static_cast<bool>(is), "cannot read ", path);
+    return readProgram(is, pOut);
+}
+
+} // namespace finesse

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Program-image serialization: save/load an encoded accelerator
+ * program (instruction words, DMem constant preload, I/O register
+ * maps) as a self-contained deployment artifact. This is what would be
+ * flashed next to the SystemVerilog accelerator in the paper's flow;
+ * here it also decouples compilation from simulation runs.
+ *
+ * Format: a line-oriented text container ("FINESSE-PROG v1") with
+ * hex-encoded sections — stable, diff-able, and endianness-free.
+ */
+#ifndef FINESSE_ISA_PROGIO_H_
+#define FINESSE_ISA_PROGIO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/encode.h"
+
+namespace finesse {
+
+/** Serialize a program image (including the modulus for execution). */
+void writeProgram(std::ostream &os, const EncodedProgram &prog,
+                  const BigInt &p);
+
+/** Parse a program image; fatal on malformed input. */
+EncodedProgram readProgram(std::istream &is, BigInt &pOut);
+
+/** Convenience file wrappers. */
+void saveProgramFile(const std::string &path, const EncodedProgram &prog,
+                     const BigInt &p);
+EncodedProgram loadProgramFile(const std::string &path, BigInt &pOut);
+
+} // namespace finesse
+
+#endif // FINESSE_ISA_PROGIO_H_

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Process-wide cache of constructed curve systems. Curve setup involves
+ * primality tests, cofactor derivation and tower validation; tests and
+ * benchmarks share one instance per curve.
+ */
+#ifndef FINESSE_PAIRING_CACHE_H_
+#define FINESSE_PAIRING_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pairing/system.h"
+
+namespace finesse {
+
+/** Returns the shared CurveSystem for a k = 12 catalog curve. */
+inline const CurveSystem12 &
+curveSystem12(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<CurveSystem12>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<CurveSystem12>(
+                                    findCurve(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Returns the shared CurveSystem for a k = 24 catalog curve. */
+inline const CurveSystem24 &
+curveSystem24(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<CurveSystem24>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<CurveSystem24>(
+                                    findCurve(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace finesse
+
+#endif // FINESSE_PAIRING_CACHE_H_

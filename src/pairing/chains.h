@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cyclotomic exponentiation helpers and final-exponentiation hard-part
+ * chains for the BN, BLS12 and BLS24 families.
+ *
+ * Every routine is a template over a group-like type G providing
+ * mul/sqr/conj/frob. Three instantiations are used:
+ *  - native GT elements (reference pairing),
+ *  - symbolic GT elements (compiler trace),
+ *  - ExpoSim (exponent arithmetic mod Phi_k(p)), which lets the setup
+ *    code *prove* that a chain computes a unit multiple of the hard
+ *    exponent Phi_k(p)/r before trusting it.
+ *
+ * All routines assume their input lies in the cyclotomic subgroup
+ * (order Phi_k(p)), where conjugation equals inversion.
+ */
+#ifndef FINESSE_PAIRING_CHAINS_H_
+#define FINESSE_PAIRING_CHAINS_H_
+
+#include "bigint/bigint.h"
+#include "pairing/naf.h"
+
+namespace finesse {
+
+/** Apply Frobenius n times using G::frob(). */
+template <typename G>
+G
+frobPow(G f, int n)
+{
+    for (int i = 0; i < n; ++i)
+        f = f.frob();
+    return f;
+}
+
+/**
+ * f^e for a signed exponent, using NAF digits and conjugation for the
+ * inverse (cyclotomic subgroup only).
+ */
+template <typename G>
+G
+powSigned(const G &f, const BigInt &e)
+{
+    if (e.isZero())
+        return f.oneLike();
+    const G fInv = f.conj();
+    const std::vector<int> digits = nafDigits(e.abs());
+    G acc = digits.front() == 1 ? f : fInv;
+    for (size_t i = 1; i < digits.size(); ++i) {
+        acc = acc.sqr();
+        if (digits[i] == 1)
+            acc = acc.mul(f);
+        else if (digits[i] == -1)
+            acc = acc.mul(fInv);
+    }
+    return e.isNegative() ? acc.conj() : acc;
+}
+
+/**
+ * BN hard part (Devegili-Scott-Dahab / Beuchat et al. addition chain).
+ * Computes f^(c * (p^4 - p^2 + 1)/r) for a unit c mod r.
+ */
+template <typename G>
+G
+hardChainBN(const G &f, const BigInt &x)
+{
+    const G fx = powSigned(f, x);
+    const G fx2 = powSigned(fx, x);
+    const G fx3 = powSigned(fx2, x);
+    const G fp = f.frob();
+    const G fp2 = frobPow(f, 2);
+    const G fp3 = frobPow(f, 3);
+    const G fxp = fx.frob();
+    const G fx2p = fx2.frob();
+    const G fx3p = fx3.frob();
+    const G fx2p2 = frobPow(fx2, 2);
+
+    const G y0 = fp.mul(fp2).mul(fp3);
+    const G y1 = f.conj();
+    const G y2 = fx2p2;
+    const G y3 = fxp.conj();
+    const G y4 = fx.mul(fx2p).conj();
+    const G y5 = fx2.conj();
+    const G y6 = fx3.mul(fx3p).conj();
+
+    G t0 = y6.sqr().mul(y4).mul(y5);
+    G t1 = y3.mul(y5).mul(t0);
+    t0 = t0.mul(y2);
+    t1 = t1.sqr().mul(t0).sqr();
+    G t2 = t1.mul(y1);
+    t1 = t1.mul(y0);
+    t2 = t2.sqr();
+    return t1.mul(t2);
+}
+
+/**
+ * BLS12 hard part via the Hayashida-Hayasaka-Teruya decomposition:
+ * 3 (p^4 - p^2 + 1)/r = (x-1)^2 (x+p) (x^2 + p^2 - 1) + 3.
+ */
+template <typename G>
+G
+hardChainBLS12(const G &f, const BigInt &x)
+{
+    const BigInt xm1 = x - BigInt(u64{1});
+    G m = powSigned(powSigned(f, xm1), xm1);      // f^((x-1)^2)
+    m = powSigned(m, x).mul(m.frob());            // ^(x+p)
+    const G mx = powSigned(powSigned(m, x), x);   // m^(x^2)
+    m = mx.mul(frobPow(m, 2)).mul(m.conj());      // ^(x^2 + p^2 - 1)
+    return m.mul(f.sqr().mul(f));                 // * f^3
+}
+
+/**
+ * BLS24 hard part, generalizing the same decomposition:
+ * 3 (p^8 - p^4 + 1)/r = (x-1)^2 (x+p) (x^2+p^2) (x^4 + p^4 - 1) + 3.
+ */
+template <typename G>
+G
+hardChainBLS24(const G &f, const BigInt &x)
+{
+    const BigInt xm1 = x - BigInt(u64{1});
+    G m = powSigned(powSigned(f, xm1), xm1);      // f^((x-1)^2)
+    m = powSigned(m, x).mul(m.frob());            // ^(x+p)
+    m = powSigned(powSigned(m, x), x).mul(frobPow(m, 2)); // ^(x^2+p^2)
+    G mx = m;
+    for (int i = 0; i < 4; ++i)
+        mx = powSigned(mx, x);                    // m^(x^4)
+    m = mx.mul(frobPow(m, 4)).mul(m.conj());      // ^(x^4 + p^4 - 1)
+    return m.mul(f.sqr().mul(f));                 // * f^3
+}
+
+/**
+ * Exponent simulator: a group-like element whose "value" is the
+ * exponent applied to a fixed generator, tracked modulo Phi_k(p). Used
+ * to verify hard-part chains numerically at setup.
+ */
+class ExpoSim
+{
+  public:
+    ExpoSim(BigInt e, const BigInt *phi, const BigInt *p)
+        : e_(std::move(e)), phi_(phi), p_(p)
+    {}
+
+    const BigInt &exponent() const { return e_; }
+
+    ExpoSim oneLike() const { return {BigInt(), phi_, p_}; }
+    ExpoSim mul(const ExpoSim &o) const { return {(e_ + o.e_).mod(*phi_), phi_, p_}; }
+    ExpoSim sqr() const { return {(e_ + e_).mod(*phi_), phi_, p_}; }
+    ExpoSim conj() const { return {(-e_).mod(*phi_), phi_, p_}; }
+    ExpoSim frob() const { return {(e_ * *p_).mod(*phi_), phi_, p_}; }
+
+  private:
+    BigInt e_;
+    const BigInt *phi_;
+    const BigInt *p_;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_PAIRING_CHAINS_H_

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Optimal Ate pairing engine, generic over the tower instantiation.
+ *
+ * The engine is entirely branch-free with respect to *element values*:
+ * control flow depends only on the PairingPlan (curve constants), so
+ * the identical code path computes pairings natively and, when the
+ * tower is instantiated over the symbolic base field, unrolls into the
+ * single-basic-block Fp-level SSA trace that the paper's CodeGen stage
+ * produces.
+ *
+ * Formula notes (derived for y^2 = x^3 + b, a = 0, Jacobian coordinates
+ * on the twist; lines are scaled by Ft factors, which the final
+ * exponentiation kills):
+ *   doubling step, T = (X, Y, Z):
+ *     lambda' = 3X^2 / (2YZ); scale by Z3*Z^2 (Z3 = 2YZ):
+ *     l = (Z3 Z^2 yP) + (-3X^2 Z^2 xP) z + (3X^3 - 2Y^2) z^3
+ *   mixed addition step with affine Q2 = (xq, yq):
+ *     theta = Y - yq Z^3, H = X - xq Z^2, Z3 = H Z:
+ *     l = (Z3 yP) + (-theta xP) z + (theta xq - yq Z3) z^3
+ * For M-type twists the same coefficients land in slots (0, 5, 3) with
+ * the slot-0 value additionally multiplied by xi.
+ */
+#ifndef FINESSE_PAIRING_ENGINE_H_
+#define FINESSE_PAIRING_ENGINE_H_
+
+#include <array>
+#include <vector>
+
+#include "pairing/cyclotomic.h"
+#include "pairing/plan.h"
+
+namespace finesse {
+
+template <typename TW>
+class PairingEngine
+{
+  public:
+    using FpT = typename TW::BaseT;
+    using FtT = typename TW::FtT;
+    using GtT = typename TW::GtT;
+
+    /** Twist point in Jacobian coordinates (loop-internal). */
+    struct TwistJac
+    {
+        FtT x, y, z;
+    };
+
+    PairingEngine(const TW &tower, const PairingPlan &plan,
+                  CoordSystem coords = CoordSystem::Jacobian,
+                  bool cycloSqr = false)
+        : tower_(tower), plan_(plan), coords_(coords),
+          cycloSqr_(cycloSqr)
+    {
+        auto load = [&](const std::vector<BigInt> &coeffs) {
+            auto it = coeffs.begin();
+            return FtT::fromFpCoeffs(tower_.ftCtx(), it);
+        };
+        if (!plan.frobTwX.empty()) {
+            cX_ = load(plan.frobTwX);
+            cY_ = load(plan.frobTwY);
+        }
+        if (!plan.frobTwX2.empty()) {
+            cX2_ = load(plan.frobTwX2);
+            cY2_ = load(plan.frobTwY2);
+        }
+    }
+
+    /** Full pairing e(P, Q) for affine inputs. */
+    GtT
+    pair(const FpT &xP, const FpT &yP, const FtT &xQ, const FtT &yQ) const
+    {
+        return finalExp(miller(xP, yP, xQ, yQ));
+    }
+
+    /** One (P, Q) input pair for multi-pairing. */
+    struct PairInput
+    {
+        FpT xP, yP;
+        FtT xQ, yQ;
+    };
+
+    /**
+     * Product of pairings prod_i e(P_i, Q_i) with one shared final
+     * exponentiation — the SNARK-verifier workload (Groth16 checks a
+     * product of three/four pairings).
+     */
+    GtT
+    pairProduct(const std::vector<PairInput> &inputs) const
+    {
+        FINESSE_REQUIRE(!inputs.empty(), "empty pairing product");
+        GtT f = miller(inputs[0].xP, inputs[0].yP, inputs[0].xQ,
+                       inputs[0].yQ);
+        for (size_t i = 1; i < inputs.size(); ++i) {
+            f = f.mul(miller(inputs[i].xP, inputs[i].yP, inputs[i].xQ,
+                             inputs[i].yQ));
+        }
+        return finalExp(f);
+    }
+
+    /** Miller loop (Algorithm 1, lines 5-14). */
+    GtT
+    miller(const FpT &xP, const FpT &yP, const FtT &xQ, const FtT &yQ) const
+    {
+        TwistJac T{xQ, yQ, FtT::one(tower_.ftCtx())};
+        GtT f = GtT::one(tower_.gtCtx());
+        const FtT yQneg = yQ.neg();
+
+        const auto &naf = plan_.loopNaf;
+        for (size_t i = 1; i < naf.size(); ++i) {
+            f = f.sqr().mul(dblStep(T, xP, yP));
+            if (naf[i] == 1)
+                f = f.mul(addStep(T, xQ, yQ, xP, yP));
+            else if (naf[i] == -1)
+                f = f.mul(addStep(T, xQ, yQneg, xP, yP));
+        }
+
+        if (plan_.negLoop) {
+            f = f.conj();
+            T.y = T.y.neg();
+        }
+
+        if (plan_.family == CurveFamily::BN) {
+            // Q1 = pi(Q), Q2 = -pi^2(Q) extra steps (Algorithm 1, 10-14).
+            const FtT x1 = cX_.mul(xQ.frob());
+            const FtT y1 = cY_.mul(yQ.frob());
+            f = f.mul(addStep(T, x1, y1, xP, yP));
+            const FtT x2 = cX2_.mul(xQ);
+            const FtT y2 = cY2_.mul(yQ).neg();
+            f = f.mul(addStep(T, x2, y2, xP, yP));
+        }
+        return f;
+    }
+
+    /** Final exponentiation f^((p^k - 1)/r). */
+    GtT
+    finalExp(const GtT &in) const
+    {
+        // Easy part: f^((p^(k/2) - 1)(p^(k/6) + 1)).
+        GtT f = in.conj().mul(in.inv());
+        f = frobPow(f, plan_.k / 6).mul(f);
+        // Hard part: f^(Phi_k(p)/r) (up to a unit multiple). After the
+        // easy part f lies in the cyclotomic subgroup, enabling
+        // Granger-Scott squaring when requested.
+        if (cycloSqr_) {
+            using CubicCtxT =
+                std::decay_t<decltype(*tower_.cubicCtx())>;
+            const CycloElem<GtT, CubicCtxT> wrapped(
+                f, tower_.cubicCtx());
+            return hardPart(wrapped).value();
+        }
+        return hardPart(f);
+    }
+
+    /** Hard part on any group-like element (GtT or CycloElem). */
+    template <typename G>
+    G
+    hardPart(const G &f) const
+    {
+        switch (plan_.hard) {
+          case HardPartKind::BNChain:
+            return hardChainBN(f, plan_.x);
+          case HardPartKind::BLSChain:
+            return plan_.k == 12 ? hardChainBLS12(f, plan_.x)
+                                 : hardChainBLS24(f, plan_.x);
+          case HardPartKind::Digits: {
+            G acc = powBig(f, plan_.hardDigits[0]);
+            G fp = f;
+            for (size_t i = 1; i < plan_.hardDigits.size(); ++i) {
+                fp = fp.frob();
+                acc = acc.mul(powBig(fp, plan_.hardDigits[i]));
+            }
+            return acc;
+          }
+        }
+        panic("bad HardPartKind");
+    }
+
+    /** Double T and evaluate the tangent line at P. */
+    GtT
+    dblStep(TwistJac &T, const FpT &xP, const FpT &yP) const
+    {
+        if (coords_ == CoordSystem::Projective)
+            return dblStepProjective(T, xP, yP);
+        const FtT A = T.x.sqr();
+        const FtT B = T.y.sqr();
+        const FtT C = B.sqr();
+        const FtT Zsq = T.z.sqr();
+        const FtT D = T.x.add(B).sqr().sub(A).sub(C).dbl(); // 4XY^2
+        const FtT E = A.tpl();                              // 3X^2
+        const FtT F = E.sqr();
+        const FtT X3 = F.sub(D.dbl());
+        const FtT Y3 = E.mul(D.sub(X3)).sub(muliSmall(C, 8));
+        const FtT Z3 = T.y.add(T.z).sqr().sub(B).sub(Zsq); // 2YZ
+
+        const FtT c0 = Z3.mul(Zsq);
+        const FtT c1 = E.mul(Zsq).neg();
+        const FtT c3 = E.mul(T.x).sub(B.dbl()); // 3X^3 - 2Y^2
+        T = {X3, Y3, Z3};
+        return lineToGt(c0, c1, c3, xP, yP);
+    }
+
+    /** Add affine (xq, yq) into T and evaluate the line at P. */
+    GtT
+    addStep(TwistJac &T, const FtT &xq, const FtT &yq, const FpT &xP,
+            const FpT &yP) const
+    {
+        if (coords_ == CoordSystem::Projective)
+            return addStepProjective(T, xq, yq, xP, yP);
+        const FtT Zsq = T.z.sqr();
+        const FtT U2 = xq.mul(Zsq);
+        const FtT S2 = yq.mul(Zsq).mul(T.z);
+        const FtT H = T.x.sub(U2);
+        const FtT TH = T.y.sub(S2); // theta
+        const FtT HH = H.sqr();
+        const FtT HHH = HH.mul(H);
+        const FtT X3 = TH.sqr().sub(HH.mul(T.x.add(U2)));
+        const FtT Y3 = TH.mul(U2.mul(HH).sub(X3)).sub(S2.mul(HHH));
+        const FtT Z3 = H.mul(T.z);
+
+        const FtT c0 = Z3;
+        const FtT c1 = TH.neg();
+        const FtT c3 = TH.mul(xq).sub(yq.mul(Z3));
+        T = {X3, Y3, Z3};
+        return lineToGt(c0, c1, c3, xP, yP);
+    }
+
+    /**
+     * Homogeneous-projective doubling variant (x = X/Z, y = Y/Z).
+     * Derivation scales the line by 2YZ^2 (an Ft factor).
+     */
+    GtT
+    dblStepProjective(TwistJac &T, const FpT &xP, const FpT &yP) const
+    {
+        const FtT A = T.x.sqr().tpl();      // 3X^2
+        const FtT ysq = T.y.sqr();
+        const FtT B = T.y.mul(T.z).dbl();   // 2YZ
+        const FtT t = T.x.mul(ysq).mul(T.z); // XY^2 Z
+        const FtT u = ysq.mul(T.z);          // Y^2 Z
+        const FtT x3p = A.sqr().sub(muliSmall(t, 8)); // A^2 - 8XY^2 Z
+        const FtT X3 = x3p.mul(B);
+        const FtT Y3 =
+            A.mul(muliSmall(t, 4).sub(x3p)).sub(muliSmall(u.sqr(), 8));
+        const FtT Z3 = B.sqr().mul(B);
+
+        const FtT c0 = B.mul(T.z);            // 2YZ^2
+        const FtT c1 = A.mul(T.z).neg();      // -3X^2 Z
+        const FtT c3 = A.mul(T.x).sub(u.dbl()); // 3X^3 - 2Y^2 Z
+        T = {X3, Y3, Z3};
+        return lineToGt(c0, c1, c3, xP, yP);
+    }
+
+    /** Homogeneous-projective mixed addition variant. */
+    GtT
+    addStepProjective(TwistJac &T, const FtT &xq, const FtT &yq,
+                      const FpT &xP, const FpT &yP) const
+    {
+        const FtT t = xq.mul(T.z);
+        const FtT TH = T.y.sub(yq.mul(T.z)); // theta
+        const FtT H = T.x.sub(t);
+        const FtT HH = H.sqr();
+        const FtT HHH = HH.mul(H);
+        const FtT W = TH.sqr().mul(T.z).sub(HH.mul(T.x.add(t)));
+        const FtT X3 = H.mul(W);
+        const FtT Y3 =
+            TH.mul(HH.mul(t).sub(W)).sub(yq.mul(HHH).mul(T.z));
+        const FtT Z3 = HHH.mul(T.z);
+
+        const FtT c0 = H;
+        const FtT c1 = TH.neg();
+        const FtT c3 = TH.mul(xq).sub(yq.mul(H));
+        T = {X3, Y3, Z3};
+        return lineToGt(c0, c1, c3, xP, yP);
+    }
+
+  private:
+    /** Place sparse line coefficients into GT slots per twist type. */
+    GtT
+    lineToGt(const FtT &c0, const FtT &c1, const FtT &c3, const FpT &xP,
+             const FpT &yP) const
+    {
+        const FtT z = FtT::zero(tower_.ftCtx());
+        std::array<FtT, 6> slots{z, z, z, z, z, z};
+        if (plan_.twist == TwistType::D) {
+            slots[0] = c0.scaleScalar(yP);
+            slots[1] = c1.scaleScalar(xP);
+            slots[3] = c3;
+        } else {
+            slots[0] = tower_.mulByXi(c0.scaleScalar(yP));
+            slots[5] = c1.scaleScalar(xP);
+            slots[3] = c3;
+        }
+        return tower_.fromSlots(slots);
+    }
+
+    const TW &tower_;
+    const PairingPlan &plan_;
+    CoordSystem coords_ = CoordSystem::Jacobian;
+    bool cycloSqr_ = false;
+    FtT cX_, cY_, cX2_, cY2_;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_PAIRING_ENGINE_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Non-adjacent form (NAF) signed-digit recoding, used for the Miller
+ * loop parameter and for cyclotomic exponentiations by the curve
+ * parameter x. NAF minimizes the number of nonzero digits, trading
+ * additions for cheap conjugations/negations.
+ */
+#ifndef FINESSE_PAIRING_NAF_H_
+#define FINESSE_PAIRING_NAF_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "bigint/bigint.h"
+
+namespace finesse {
+
+/**
+ * Compute the NAF digits of a non-negative integer, most significant
+ * digit first. Digits are in {-1, 0, 1}; the leading digit is 1.
+ */
+inline std::vector<int>
+nafDigits(const BigInt &value)
+{
+    FINESSE_CHECK(!value.isNegative(), "nafDigits expects |value|");
+    std::vector<int> digits; // little-endian during construction
+    BigInt v = value;
+    const BigInt four(u64{4});
+    while (!v.isZero()) {
+        if (v.isOdd()) {
+            const u64 mod4 = (v % four).low64();
+            const int d = mod4 == 1 ? 1 : -1;
+            digits.push_back(d);
+            v = d == 1 ? v - BigInt(u64{1}) : v + BigInt(u64{1});
+        } else {
+            digits.push_back(0);
+        }
+        v = v >> 1;
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+/** Plain binary digits (msb first); baseline alternative to NAF. */
+inline std::vector<int>
+binaryDigits(const BigInt &value)
+{
+    FINESSE_CHECK(!value.isNegative(), "binaryDigits expects |value|");
+    std::vector<int> digits;
+    for (int i = value.bitLength(); i-- > 0;)
+        digits.push_back(value.bit(i));
+    return digits;
+}
+
+} // namespace finesse
+
+#endif // FINESSE_PAIRING_NAF_H_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary-level simulator implementation.
+ */
+#include "sim/binary.h"
+
+namespace finesse {
+
+std::vector<BigInt>
+runEncoded(const EncodedProgram &prog, const FpCtx &fp,
+           const std::vector<BigInt> &inputs)
+{
+    FINESSE_REQUIRE(inputs.size() == prog.inputRegs.size(),
+                    "input count mismatch");
+
+    // Size the register file from the encoding field widths.
+    const size_t banks = size_t{1} << prog.bankBits;
+    const size_t regs = size_t{1} << prog.regBits;
+    std::vector<std::vector<Fp>> rf(
+        banks, std::vector<Fp>(regs, Fp::zero(&fp)));
+
+    auto at = [&](RegLoc loc) -> Fp & {
+        FINESSE_CHECK(static_cast<size_t>(loc.bank) < banks &&
+                      static_cast<size_t>(loc.reg) < regs,
+                      "register out of range");
+        return rf[loc.bank][loc.reg];
+    };
+
+    for (const auto &entry : prog.constPool)
+        at(entry.loc) = Fp::fromBig(&fp, entry.value);
+    for (size_t i = 0; i < inputs.size(); ++i)
+        at(prog.inputRegs[i]) = Fp::fromBig(&fp, inputs[i]);
+
+    // Execute bundle by bundle; within a bundle reads precede writes.
+    const size_t width = static_cast<size_t>(prog.issueWidth);
+    for (size_t base = 0; base < prog.words.size(); base += width) {
+        struct Pending
+        {
+            RegLoc dst;
+            Fp value;
+        };
+        std::vector<Pending> writes;
+        for (size_t s = 0; s < width; ++s) {
+            const auto d = prog.decode(prog.words[base + s]);
+            if (d.op == Op::Nop)
+                continue;
+            const Fp a = at(d.a);
+            const Fp b = at(d.b);
+            Fp r = a;
+            switch (d.op) {
+              case Op::Add: r = a.add(b); break;
+              case Op::Sub: r = a.sub(b); break;
+              case Op::Neg: r = a.neg(); break;
+              case Op::Dbl: r = a.dbl(); break;
+              case Op::Tpl: r = a.tpl(); break;
+              case Op::Mul: r = a.mul(b); break;
+              case Op::Sqr: r = a.sqr(); break;
+              case Op::Inv: r = a.inv(); break;
+              case Op::Cvt:
+              case Op::Icv: r = a; break;
+              case Op::Nop: break;
+            }
+            writes.push_back({d.dst, r});
+        }
+        for (const Pending &w : writes)
+            at(w.dst) = w.value;
+    }
+
+    std::vector<BigInt> out;
+    out.reserve(prog.outputRegs.size());
+    for (RegLoc loc : prog.outputRegs)
+        out.push_back(at(loc).toBig());
+    return out;
+}
+
+} // namespace finesse

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Binary-level functional simulator: decodes and executes an encoded
+ * program image (instruction words + DMem preload + I/O register map)
+ * with no access to compiler metadata. This is the deepest level of
+ * the validation stack: it catches encoding bugs that the SSA- and
+ * register-file-level simulators cannot see.
+ */
+#ifndef FINESSE_SIM_BINARY_H_
+#define FINESSE_SIM_BINARY_H_
+
+#include <vector>
+
+#include "field/fp.h"
+#include "isa/encode.h"
+
+namespace finesse {
+
+/** Execute an encoded binary; inputs/outputs as standard integers. */
+std::vector<BigInt> runEncoded(const EncodedProgram &prog, const FpCtx &fp,
+                               const std::vector<BigInt> &inputs);
+
+} // namespace finesse
+
+#endif // FINESSE_SIM_BINARY_H_

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cycle-accurate simulator implementation. Issue rules are shared with
+ * the scheduler through compiler/ports.h, so simulated timing and
+ * scheduled timing can only diverge through in-order head-of-line
+ * blocking, which this simulator models explicitly.
+ */
+#include "sim/cycle.h"
+
+#include "compiler/ports.h"
+
+namespace finesse {
+
+CycleStats
+simulateCycles(const CompiledProgram &prog, i64 windowStart, i64 windowLen)
+{
+    const Module &m = prog.module;
+    const PipelineModel &hw = prog.hw;
+
+    CycleStats stats;
+    stats.instrs = m.body.size();
+
+    std::vector<i64> readyAt(m.numValues, 0);
+    PortTracker ports(hw);
+
+    i64 cycle = 0;
+    i64 lastWriteback = 0;
+
+    for (const Bundle &bundle : prog.schedule.bundles) {
+        // Dependence stall: every op's operands must be ready.
+        i64 t = cycle;
+        std::vector<PortOp> pops;
+        pops.reserve(bundle.instIdx.size());
+        for (i32 idx : bundle.instIdx) {
+            const Inst &inst = m.body[idx];
+            if (arity(inst.op) >= 1)
+                t = std::max(t, readyAt[inst.a]);
+            if (arity(inst.op) >= 2)
+                t = std::max(t, readyAt[inst.b]);
+            pops.push_back(makePortOp(inst, prog.banks.bankOf));
+        }
+        // Structural stall: ports/units/write-back.
+        while (!ports.canIssueBundle(pops, t))
+            ++t;
+        ports.commitBundle(pops, t);
+
+        stats.bubbles += t - cycle;
+        for (i32 idx : bundle.instIdx) {
+            const Inst &inst = m.body[idx];
+            readyAt[inst.dst] = t + hw.latency(inst.op);
+            lastWriteback = std::max(lastWriteback, readyAt[inst.dst]);
+        }
+
+        if (t >= windowStart && t < windowStart + windowLen) {
+            IssueSample s{t, 0, 0, 0};
+            for (i32 idx : bundle.instIdx) {
+                switch (unitOf(m.body[idx].op)) {
+                  case UnitClass::Mul:
+                    s.longOps++;
+                    break;
+                  case UnitClass::Linear:
+                    s.shortOps++;
+                    break;
+                  case UnitClass::Inv:
+                    s.invOps++;
+                    break;
+                  case UnitClass::None:
+                    break;
+                }
+            }
+            stats.window.push_back(s);
+        }
+
+        stats.issueCycles = t;
+        cycle = t + 1;
+    }
+
+    i64 done = lastWriteback;
+    for (i32 out : m.outputs)
+        done = std::max(done, readyAt[out]);
+    stats.totalCycles = done;
+    stats.maxFifoDefer = ports.maxFifoDefer();
+    return stats;
+}
+
+} // namespace finesse

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional simulator implementation.
+ */
+#include "sim/functional.h"
+
+namespace finesse {
+
+namespace {
+
+Fp
+evalOp(Op op, const Fp &a, const Fp &b)
+{
+    switch (op) {
+      case Op::Add:
+        return a.add(b);
+      case Op::Sub:
+        return a.sub(b);
+      case Op::Neg:
+        return a.neg();
+      case Op::Dbl:
+        return a.dbl();
+      case Op::Tpl:
+        return a.tpl();
+      case Op::Mul:
+        return a.mul(b);
+      case Op::Sqr:
+        return a.sqr();
+      case Op::Inv:
+        return a.inv();
+      case Op::Cvt:
+      case Op::Icv:
+        // Domain conversions are value-preserving in this model.
+        return a;
+      case Op::Nop:
+        return a;
+    }
+    panic("bad op");
+}
+
+} // namespace
+
+std::vector<BigInt>
+runModule(const Module &m, const FpCtx &fp, const std::vector<BigInt> &inputs)
+{
+    FINESSE_REQUIRE(inputs.size() == m.inputs.size(),
+                    "input count mismatch: got ", inputs.size(), " want ",
+                    m.inputs.size());
+    std::vector<Fp> vals(m.numValues, Fp::zero(&fp));
+    for (const auto &c : m.constants)
+        vals[c.id] = Fp::fromBig(&fp, c.value);
+    for (size_t i = 0; i < inputs.size(); ++i)
+        vals[m.inputs[i]] = Fp::fromBig(&fp, inputs[i]);
+    for (const Inst &inst : m.body) {
+        const Fp &a = inst.a >= 0 ? vals[inst.a] : vals[0];
+        const Fp &b = inst.b >= 0 ? vals[inst.b] : vals[0];
+        vals[inst.dst] = evalOp(inst.op, a, b);
+    }
+    std::vector<BigInt> out;
+    out.reserve(m.outputs.size());
+    for (i32 o : m.outputs)
+        out.push_back(vals[o].toBig());
+    return out;
+}
+
+std::vector<BigInt>
+runAllocated(const CompiledProgram &prog, const FpCtx &fp,
+             const std::vector<BigInt> &inputs)
+{
+    const Module &m = prog.module;
+    FINESSE_REQUIRE(inputs.size() == m.inputs.size(),
+                    "input count mismatch");
+
+    // Register file: banks x registers.
+    const int numBanks = prog.banks.numBanks;
+    std::vector<std::vector<Fp>> regs(numBanks);
+    for (int b = 0; b < numBanks; ++b)
+        regs[b].assign(
+            std::max<i32>(prog.regs.maxRegsPerBank[b], 1),
+            Fp::zero(&fp));
+
+    auto regRef = [&](i32 valueId) -> Fp & {
+        const i32 bank = prog.banks.bankOf[valueId];
+        const i32 reg = prog.regs.regOf[valueId];
+        FINESSE_CHECK(reg >= 0, "value %", valueId, " has no register");
+        return regs[bank][reg];
+    };
+
+    // Preload constants and inputs (DMem initial image).
+    for (const auto &c : m.constants)
+        regRef(c.id) = Fp::fromBig(&fp, c.value);
+    for (size_t i = 0; i < inputs.size(); ++i)
+        regRef(m.inputs[i]) = Fp::fromBig(&fp, inputs[i]);
+
+    // Execute bundles in schedule order. Within a bundle all reads
+    // happen before any write (hardware issue semantics).
+    for (const Bundle &bundle : prog.schedule.bundles) {
+        std::vector<Fp> results;
+        results.reserve(bundle.instIdx.size());
+        for (i32 idx : bundle.instIdx) {
+            const Inst &inst = m.body[idx];
+            const Fp a =
+                inst.a >= 0 ? regRef(inst.a) : Fp::zero(&fp);
+            const Fp b =
+                inst.b >= 0 ? regRef(inst.b) : Fp::zero(&fp);
+            results.push_back(evalOp(inst.op, a, b));
+        }
+        for (size_t i = 0; i < bundle.instIdx.size(); ++i)
+            regRef(m.body[bundle.instIdx[i]].dst) = results[i];
+    }
+
+    std::vector<BigInt> out;
+    out.reserve(m.outputs.size());
+    for (i32 o : m.outputs)
+        out.push_back(regRef(o).toBig());
+    return out;
+}
+
+} // namespace finesse

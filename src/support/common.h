@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Common support utilities: fatal-error handling, checked assertions and
+ * small formatting helpers shared by every Finesse module.
+ *
+ * Follows the gem5 convention: panic() marks framework bugs (should never
+ * happen), fatal() marks user/configuration errors.
+ */
+#ifndef FINESSE_SUPPORT_COMMON_H_
+#define FINESSE_SUPPORT_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace finesse {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+
+/** Exception thrown for unrecoverable internal errors (framework bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown for invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a variadic message into one string via a string stream. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a framework-bug diagnostic. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Abort with a user-error diagnostic. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Internal-invariant check; throws PanicError when violated. */
+#define FINESSE_CHECK(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::finesse::panic("check failed: ", #cond, " @ ", __FILE__, ":", \
+                             __LINE__, " ", ##__VA_ARGS__);                 \
+        }                                                                   \
+    } while (0)
+
+/** User-facing validation check; throws FatalError when violated. */
+#define FINESSE_REQUIRE(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::finesse::fatal("requirement failed: ", #cond, " ",            \
+                             ##__VA_ARGS__);                                \
+        }                                                                   \
+    } while (0)
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_COMMON_H_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used across tests,
+ * benchmarks and curve setup. A fixed default seed makes every experiment
+ * in the repository reproducible run-to-run.
+ */
+#ifndef FINESSE_SUPPORT_RNG_H_
+#define FINESSE_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "support/common.h"
+
+namespace finesse {
+
+/**
+ * xoshiro256** generator. Small, fast and statistically strong enough for
+ * generating test vectors and random field elements (not for production
+ * key material; this repository is a research artifact).
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x46494e4553534531ull) // "FINESSE1"
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        u64 x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit word. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        FINESSE_CHECK(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            const u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4];
+};
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_RNG_H_

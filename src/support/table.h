@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the benchmark harnesses to
+ * emit paper-style tables (Table 6, Table 7, ...) on stdout.
+ */
+#ifndef FINESSE_SUPPORT_TABLE_H_
+#define FINESSE_SUPPORT_TABLE_H_
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace finesse {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render the table to @p os with two-space column separation. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<size_t> widths;
+        auto grow = [&](const std::vector<std::string> &cells) {
+            if (cells.size() > widths.size())
+                widths.resize(cells.size(), 0);
+            for (size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto &r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string> &cells) {
+            for (size_t i = 0; i < cells.size(); ++i) {
+                os << cells[i];
+                if (i + 1 < cells.size())
+                    os << std::string(widths[i] - cells[i].size() + 2, ' ');
+            }
+            os << '\n';
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            size_t total = 0;
+            for (size_t w : widths)
+                total += w + 2;
+            os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+        }
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_TABLE_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * End-to-end sweep: for every catalog curve, compile the full pairing
+ * and cross-validate the compiled program against the native library
+ * (SSA level and register-file level). This is the strongest
+ * whole-framework guarantee in the suite.
+ */
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace finesse {
+namespace {
+
+class AllCurvesEndToEnd : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllCurvesEndToEnd, CompileSimulateValidate)
+{
+    Framework fw(GetParam());
+    const CompileResult res = fw.compile(CompileOptions{});
+
+    // Structure.
+    EXPECT_GT(res.instrs(), 10000u);
+    EXPECT_EQ(res.prog.module.outputs.size(),
+              static_cast<size_t>(fw.info().k));
+    EXPECT_EQ(res.prog.module.countOp(Op::Inv), 1u);
+
+    // Timing sanity.
+    const CycleStats sim = fw.simulate(res);
+    EXPECT_GT(sim.ipc(), 0.85);
+
+    // Functional correctness vs the native oracle.
+    const ValidationReport rep = fw.validate(res, 1);
+    EXPECT_TRUE(rep.allPassed()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllCurvesEndToEnd,
+                         ::testing::Values("BN254N", "BN462", "BN638",
+                                           "BLS12-381", "BLS12-446",
+                                           "BLS12-638", "BLS24-509"),
+                         [](const auto &info) {
+                             std::string s = info.param;
+                             for (char &c : s) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return s;
+                         });
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Backend property tests over randomly generated SSA modules and a
+ * parameterized sweep of hardware models: every (module, model) pair
+ * must schedule to a functionally equivalent program, respect SSA
+ * structure after register allocation, and keep register pressure
+ * consistent with the recorded high-water marks.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/passes.h"
+#include "core/framework.h"
+#include "sim/binary.h"
+#include "sim/functional.h"
+#include "support/rng.h"
+
+namespace finesse {
+namespace {
+
+/** Random straight-line SSA module over a small prime. */
+Module
+randomModule(Rng &rng, int numInputs, int numOps)
+{
+    Module m;
+    m.p = BigInt::fromString("0x1000000000000000000000000000000d1");
+    std::vector<i32> live;
+    for (int i = 0; i < numInputs; ++i) {
+        const i32 raw = m.numValues++;
+        m.inputs.push_back(raw);
+        const i32 conv = m.numValues++;
+        m.body.push_back({Op::Icv, conv, raw, -1});
+        live.push_back(conv);
+    }
+    // A few constants.
+    for (u64 c : {u64{3}, u64{17}, u64{0x123456}}) {
+        const i32 id = m.numValues++;
+        m.constants.push_back({id, BigInt(c)});
+        live.push_back(id);
+    }
+    const Op ops[] = {Op::Add, Op::Sub, Op::Mul, Op::Sqr, Op::Neg,
+                      Op::Dbl, Op::Tpl, Op::Add, Op::Mul};
+    for (int i = 0; i < numOps; ++i) {
+        const Op op = ops[rng.below(sizeof(ops) / sizeof(ops[0]))];
+        const i32 a = live[rng.below(live.size())];
+        const i32 b = live[rng.below(live.size())];
+        const i32 dst = m.numValues++;
+        m.body.push_back(
+            {op, dst, a, arity(op) >= 2 ? b : -1});
+        live.push_back(dst);
+    }
+    // A handful of outputs from the live tail.
+    for (int i = 0; i < 4; ++i) {
+        const i32 v = live[live.size() - 1 - rng.below(8)];
+        const i32 out = m.numValues++;
+        m.body.push_back({Op::Cvt, out, v, -1});
+        m.outputs.push_back(out);
+    }
+    m.verify();
+    return m;
+}
+
+struct HwCase
+{
+    const char *name;
+    int issueWidth, linUnits, banks, longLat, shortLat;
+    bool fifo;
+};
+
+class BackendProperty : public ::testing::TestWithParam<HwCase>
+{
+};
+
+TEST_P(BackendProperty, ScheduledProgramsStayCorrect)
+{
+    const HwCase &hc = GetParam();
+    PipelineModel hw;
+    hw.issueWidth = hc.issueWidth;
+    hw.numLinUnits = hc.linUnits;
+    hw.numBanks = hc.banks;
+    hw.longLat = hc.longLat;
+    hw.shortLat = hc.shortLat;
+    hw.writebackFifo = hc.fifo;
+
+    Rng rng(0xabc + hc.issueWidth * 131 + hc.banks);
+    for (int trial = 0; trial < 8; ++trial) {
+        Module m = randomModule(rng, 3, 120 + int(rng.below(200)));
+        FpCtx fp(m.p);
+        std::vector<BigInt> inputs;
+        for (size_t i = 0; i < m.inputs.size(); ++i)
+            inputs.push_back(BigInt::randomBelow(rng, m.p));
+        const auto want = runModule(m, fp, inputs);
+
+        for (bool listSched : {false, true}) {
+            const CompileResult res = runBackend(m, hw, listSched);
+            // 1. Functional equivalence through the register file.
+            EXPECT_EQ(runAllocated(res.prog, fp, inputs), want)
+                << hc.name << " listSched=" << listSched;
+            // 2. ... and through the encoded binary.
+            EXPECT_EQ(runEncoded(res.binary, fp, inputs), want)
+                << hc.name << " (binary)";
+            // 3. Every instruction scheduled exactly once.
+            size_t scheduled = 0;
+            for (const Bundle &b : res.prog.schedule.bundles) {
+                scheduled += b.instIdx.size();
+                EXPECT_LE(b.instIdx.size(),
+                          static_cast<size_t>(hw.issueWidth));
+            }
+            EXPECT_EQ(scheduled, m.body.size());
+            // 4. Register indexes within the recorded high-water mark.
+            for (i32 v = 0; v < m.numValues; ++v) {
+                if (res.prog.regs.regOf[v] < 0)
+                    continue;
+                const i32 bank = res.prog.banks.bankOf[v];
+                EXPECT_LT(res.prog.regs.regOf[v],
+                          res.prog.regs.maxRegsPerBank[bank]);
+            }
+            // 5. Cycle simulation terminates with sane numbers.
+            const CycleStats sim = simulateCycles(res.prog);
+            EXPECT_GE(sim.totalCycles,
+                      static_cast<i64>(m.body.size() /
+                                       std::max(hw.issueWidth, 1)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BackendProperty,
+    ::testing::Values(
+        HwCase{"single", 1, 1, 1, 38, 8, false},
+        HwCase{"single_fifo", 1, 1, 1, 38, 8, true},
+        HwCase{"shallow", 1, 1, 1, 8, 2, false},
+        HwCase{"vliw2", 2, 2, 2, 38, 8, true},
+        HwCase{"vliw3", 3, 2, 3, 8, 2, true},
+        HwCase{"vliw5", 5, 4, 5, 8, 2, true},
+        HwCase{"manybanks", 2, 2, 8, 38, 8, true}),
+    [](const ::testing::TestParamInfo<HwCase> &info) {
+        return info.param.name;
+    });
+
+TEST(BackendEdge, EmptyishModule)
+{
+    // Smallest legal program: one input copied to the output.
+    Module m;
+    m.p = BigInt::fromString("101");
+    const i32 raw = m.numValues++;
+    m.inputs = {raw};
+    const i32 conv = m.numValues++;
+    m.body.push_back({Op::Icv, conv, raw, -1});
+    const i32 out = m.numValues++;
+    m.body.push_back({Op::Cvt, out, conv, -1});
+    m.outputs = {out};
+    const CompileResult res = runBackend(m, PipelineModel{}, true);
+    FpCtx fp(m.p);
+    EXPECT_EQ(runAllocated(res.prog, fp, {BigInt(u64{42})}),
+              (std::vector<BigInt>{BigInt(u64{42})}));
+}
+
+TEST(BackendEdge, RejectsInvalidModel)
+{
+    PipelineModel hw;
+    hw.issueWidth = 4;
+    hw.numBanks = 2; // fewer banks than issue width: invalid
+    hw.writebackFifo = true;
+    EXPECT_THROW(hw.validate(), FatalError);
+    PipelineModel hw2;
+    hw2.issueWidth = 2; // VLIW without FIFO: invalid
+    hw2.numBanks = 2;
+    hw2.writebackFifo = false;
+    EXPECT_THROW(hw2.validate(), FatalError);
+    PipelineModel hw3;
+    hw3.longLat = 4;
+    hw3.shortLat = 8; // Long must exceed Short
+    EXPECT_THROW(hw3.validate(), FatalError);
+}
+
+
+TEST(OptimizerProperty, PreservesSemanticsOnRandomModules)
+{
+    // IROpt must never change program meaning, whatever it folds.
+    Rng rng(0xdead);
+    for (int trial = 0; trial < 12; ++trial) {
+        Module m = randomModule(rng, 4, 150 + int(rng.below(250)));
+        FpCtx fp(m.p);
+        std::vector<BigInt> inputs;
+        for (size_t i = 0; i < m.inputs.size(); ++i)
+            inputs.push_back(BigInt::randomBelow(rng, m.p));
+        const auto want = runModule(m, fp, inputs);
+        Module optimized = m;
+        const OptStats stats = optimizeModule(optimized);
+        EXPECT_LE(stats.instrsAfter, stats.instrsBefore);
+        EXPECT_EQ(runModule(optimized, fp, inputs), want)
+            << "trial " << trial;
+    }
+}
+
+TEST(OptimizerProperty, Idempotent)
+{
+    Rng rng(0xbeef);
+    Module m = randomModule(rng, 3, 200);
+    optimizeModule(m);
+    const size_t once = m.size();
+    optimizeModule(m);
+    EXPECT_EQ(m.size(), once);
+}
+
+TEST(SchedulerProperty, Deterministic)
+{
+    Rng rng(0xfeed);
+    Module m = randomModule(rng, 3, 200);
+    PipelineModel hw;
+    hw.issueWidth = 2;
+    hw.numBanks = 2;
+    hw.numLinUnits = 2;
+    hw.writebackFifo = true;
+    const CompileResult a = runBackend(m, hw, true);
+    const CompileResult b = runBackend(m, hw, true);
+    EXPECT_EQ(a.prog.schedule.estimatedCycles,
+              b.prog.schedule.estimatedCycles);
+    EXPECT_EQ(a.binary.words, b.binary.words);
+}
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Final-exponentiation chain tests: ExpoSim algebra, exponent
+ * verification of the family chains for every catalog curve, signed
+ * cyclotomic exponentiation, and multi-pairing products.
+ */
+#include <gtest/gtest.h>
+
+#include "pairing/cache.h"
+
+namespace finesse {
+namespace {
+
+TEST(ExpoSim, BasicAlgebra)
+{
+    const BigInt phi = BigInt::fromString("1000003");
+    const BigInt p = BigInt::fromString("97");
+    ExpoSim one(BigInt(u64{1}), &phi, &p);
+    EXPECT_EQ(one.sqr().exponent(), BigInt(u64{2}));
+    EXPECT_EQ(one.mul(one.sqr()).exponent(), BigInt(u64{3}));
+    EXPECT_EQ(one.conj().exponent(), phi - BigInt(u64{1}));
+    EXPECT_EQ(one.frob().exponent(), p);
+    EXPECT_EQ(one.frob().frob().exponent(), (p * p).mod(phi));
+    EXPECT_EQ(one.oneLike().exponent(), BigInt());
+}
+
+TEST(ExpoSim, PowSignedMatchesExponentArithmetic)
+{
+    const BigInt phi = BigInt::fromString("100000000000000000039");
+    const BigInt p = BigInt::fromString("9999999999971");
+    ExpoSim f(BigInt(u64{1}), &phi, &p);
+    Rng rng(17);
+    for (int i = 0; i < 20; ++i) {
+        BigInt e = BigInt::randomBits(rng, 40);
+        if (rng.below(2))
+            e = -e;
+        EXPECT_EQ(powSigned(f, e).exponent(), e.mod(phi));
+    }
+}
+
+class ChainPerCurve : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ChainPerCurve, HardPartChainVerifies)
+{
+    const CurveInfo info = deriveCurveInfo(findCurve(GetParam()));
+    bool ok = false;
+    switch (info.def.family) {
+      case CurveFamily::BN:
+        ok = verifyHardChain(
+            [](const ExpoSim &f, const BigInt &x) {
+                return hardChainBN(f, x);
+            },
+            info.p, info.r, info.def.x, info.k);
+        break;
+      case CurveFamily::BLS12:
+        ok = verifyHardChain(
+            [](const ExpoSim &f, const BigInt &x) {
+                return hardChainBLS12(f, x);
+            },
+            info.p, info.r, info.def.x, info.k);
+        break;
+      case CurveFamily::BLS24:
+        ok = verifyHardChain(
+            [](const ExpoSim &f, const BigInt &x) {
+                return hardChainBLS24(f, x);
+            },
+            info.p, info.r, info.def.x, info.k);
+        break;
+    }
+    EXPECT_TRUE(ok) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, ChainPerCurve,
+                         ::testing::Values("BN254N", "BN462", "BN638",
+                                           "BLS12-381", "BLS12-446",
+                                           "BLS12-638", "BLS24-509"),
+                         [](const auto &info) {
+                             std::string s = info.param;
+                             for (char &c : s) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return s;
+                         });
+
+TEST(CyclotomicPow, PowSignedNativeMatchesPowBig)
+{
+    const auto &sys = curveSystem12("BN254N");
+    Rng rng(31);
+    const auto P = sys.randomG1(rng);
+    const auto Q = sys.randomG2(rng);
+    // Pairing output lies in the order-r subgroup (cyclotomic), where
+    // conj is inversion.
+    const auto e = sys.pair(P, Q);
+    const BigInt k = BigInt::randomBits(rng, 60);
+    EXPECT_TRUE(powSigned(e, k).equals(powBig(e, k)));
+    // Negative exponent: f^-k = conj(f^k).
+    EXPECT_TRUE(powSigned(e, -k).equals(powBig(e, k).conj()));
+    // And conj really inverts in the subgroup.
+    EXPECT_TRUE(e.mul(e.conj()).equals(Fp12::one(sys.tower().gtCtx())));
+}
+
+TEST(MultiPairing, ProductMatchesIndividualPairings)
+{
+    const auto &sys = curveSystem12("BN254N");
+    Rng rng(33);
+    using Engine = PairingEngine<NativeTower12>;
+    std::vector<Engine::PairInput> inputs;
+    Fp12 expect = Fp12::one(sys.tower().gtCtx());
+    for (int i = 0; i < 3; ++i) {
+        const auto P = sys.randomG1(rng);
+        const auto Q = sys.randomG2(rng);
+        inputs.push_back({P.x, P.y, Q.x, Q.y});
+        expect = expect.mul(sys.pair(P, Q));
+    }
+    const Fp12 got = sys.engine().pairProduct(inputs);
+    EXPECT_TRUE(got.equals(expect));
+}
+
+TEST(MultiPairing, BilinearCancellation)
+{
+    // e(P, Q) * e(-P, Q) = 1: the classic product check.
+    const auto &sys = curveSystem12("BLS12-381");
+    Rng rng(35);
+    const auto P = sys.randomG1(rng);
+    const auto Q = sys.randomG2(rng);
+    const auto negP = P.negate();
+    using Engine = PairingEngine<NativeTower12>;
+    std::vector<Engine::PairInput> inputs = {
+        {P.x, P.y, Q.x, Q.y}, {negP.x, negP.y, Q.x, Q.y}};
+    EXPECT_TRUE(sys.engine().pairProduct(inputs).equals(
+        Fp12::one(sys.tower().gtCtx())));
+}
+
+TEST(FinalExp, DigitsDecompositionIsExact)
+{
+    for (const char *name : {"BN254N", "BLS12-381"}) {
+        const auto &sys = curveSystem12(name);
+        const PairingPlan &plan = sys.plan();
+        // Reassemble the hard exponent from base-p digits.
+        BigInt acc;
+        for (size_t i = plan.hardDigits.size(); i-- > 0;)
+            acc = acc * plan.p + plan.hardDigits[i];
+        const int e6 = plan.k / 6;
+        const BigInt phi = plan.p.pow(u64(e6) * 2) -
+                           plan.p.pow(u64(e6)) + BigInt(u64{1});
+        EXPECT_EQ(acc, phi.divExact(plan.r)) << name;
+    }
+}
+
+} // namespace
+} // namespace finesse

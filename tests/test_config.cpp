@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Config parser and config -> CompileOptions bridge tests.
+ */
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+
+namespace finesse {
+namespace {
+
+TEST(Config, ParsesTypesAndComments)
+{
+    const Config cfg = Config::parse(R"(
+# a comment
+curve = BLS12-381
+hw.long_lat = 26     # trailing comment
+hw.beta = 0.125
+optimize = false
+name = hello world
+)");
+    EXPECT_EQ(cfg.getString("curve"), "BLS12-381");
+    EXPECT_EQ(cfg.getInt("hw.long_lat"), 26);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("hw.beta"), 0.125);
+    EXPECT_FALSE(cfg.getBool("optimize", true));
+    EXPECT_EQ(cfg.getString("name"), "hello world");
+    EXPECT_EQ(cfg.getInt("missing", 7), 7);
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, RejectsMalformed)
+{
+    EXPECT_THROW(Config::parse("novalue\n"), FatalError);
+    EXPECT_THROW(Config::parse("= 3\n"), FatalError);
+    const Config cfg = Config::parse("x = abc\n");
+    EXPECT_THROW(cfg.getInt("x"), FatalError);
+    EXPECT_THROW(cfg.getBool("x"), FatalError);
+}
+
+TEST(ConfigBridge, BuildsCompileOptions)
+{
+    const Config cfg = Config::parse(R"(
+curve = BLS12-446
+optimize = true
+schedule = false
+part = miller
+hw.long_lat = 26
+hw.issue_width = 3
+hw.lin_units = 2
+hw.banks = 4
+hw.fifo = true
+variants.mul2 = schoolbook
+variants.sqr6 = ch-sqr2
+variants.mul12 = karatsuba
+variants.g2_coords = projective
+)");
+    EXPECT_EQ(curveFromConfig(cfg), "BLS12-446");
+    const CompileOptions opt = optionsFromConfig(cfg);
+    EXPECT_FALSE(opt.listSchedule);
+    EXPECT_EQ(opt.part, TracePart::MillerOnly);
+    EXPECT_EQ(opt.hw.longLat, 26);
+    EXPECT_EQ(opt.hw.issueWidth, 3);
+    EXPECT_EQ(opt.hw.numBanks, 4);
+    EXPECT_TRUE(opt.hw.writebackFifo);
+    EXPECT_EQ(opt.variants.level(2).mul, MulVariant::Schoolbook);
+    EXPECT_EQ(opt.variants.level(6).sqr, SqrVariant::CHSqr2);
+    EXPECT_EQ(opt.variants.level(12).mul, MulVariant::Karatsuba);
+    EXPECT_EQ(opt.variants.g2Coords, CoordSystem::Projective);
+}
+
+TEST(ConfigBridge, DefaultsMatchPaperModel)
+{
+    const CompileOptions opt = optionsFromConfig(Config{});
+    EXPECT_EQ(opt.hw.longLat, 38);
+    EXPECT_EQ(opt.hw.shortLat, 8);
+    EXPECT_EQ(opt.hw.issueWidth, 1);
+    EXPECT_TRUE(opt.optimize);
+    EXPECT_TRUE(opt.listSchedule);
+    EXPECT_EQ(opt.part, TracePart::Full);
+}
+
+TEST(ConfigBridge, RejectsBadEnums)
+{
+    EXPECT_THROW(
+        optionsFromConfig(Config::parse("variants.mul2 = toom\n")),
+        FatalError);
+    EXPECT_THROW(optionsFromConfig(Config::parse("part = half\n")),
+                 FatalError);
+}
+
+} // namespace
+} // namespace finesse

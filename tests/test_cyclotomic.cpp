@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cyclotomic squaring tests: agreement with the generic squaring
+ * inside the cyclotomic subgroup (both tower shapes), disagreement
+ * outside it (the precondition matters), and chain integration.
+ */
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "pairing/cache.h"
+#include "pairing/cyclotomic.h"
+
+namespace finesse {
+namespace {
+
+TEST(Cyclotomic, MatchesGenericSquaringInSubgroupK12)
+{
+    const auto &sys = curveSystem12("BN254N");
+    Rng rng(51);
+    for (int i = 0; i < 4; ++i) {
+        const auto P = sys.randomG1(rng);
+        const auto Q = sys.randomG2(rng);
+        const Fp12 e = sys.pair(P, Q); // order-r subgroup element
+        const Fp12 fast = cyclotomicSqr(e, sys.tower().fp6);
+        EXPECT_TRUE(fast.equals(e.sqr()));
+        // Iterated squarings stay consistent.
+        Fp12 a = e, b = e;
+        for (int j = 0; j < 5; ++j) {
+            a = cyclotomicSqr(a, sys.tower().fp6);
+            b = b.sqr();
+        }
+        EXPECT_TRUE(a.equals(b));
+    }
+}
+
+TEST(Cyclotomic, MatchesGenericSquaringInSubgroupK24)
+{
+    const auto &sys = curveSystem24("BLS24-509");
+    Rng rng(53);
+    const auto P = sys.randomG1(rng);
+    const auto Q = sys.randomG2(rng);
+    const Fp24 e = sys.pair(P, Q);
+    const Fp24 fast = cyclotomicSqr(e, sys.tower().fp12);
+    EXPECT_TRUE(fast.equals(e.sqr()));
+}
+
+TEST(Cyclotomic, RequiresSubgroupMembership)
+{
+    // For a random (non-cyclotomic) element the shortcut must differ.
+    const auto &sys = curveSystem12("BN254N");
+    Rng rng(55);
+    std::vector<BigInt> coeffs;
+    for (int i = 0; i < 12; ++i)
+        coeffs.push_back(BigInt::randomBelow(rng, sys.info().p));
+    auto it = coeffs.begin();
+    const Fp12 f = Fp12::fromFpCoeffs(sys.tower().gtCtx(), it);
+    EXPECT_FALSE(
+        cyclotomicSqr(f, sys.tower().fp6).equals(f.sqr()));
+}
+
+TEST(Cyclotomic, CycloElemChainMatchesPlainChain)
+{
+    // Running the BN hard-part chain through the CycloElem adapter
+    // must produce the identical result.
+    const auto &sys = curveSystem12("BN254N");
+    Rng rng(57);
+    const auto P = sys.randomG1(rng);
+    const auto Q = sys.randomG2(rng);
+    const Fp12 m = sys.engine().miller(P.x, P.y, Q.x, Q.y);
+    // Easy part by hand (puts us in the cyclotomic subgroup).
+    Fp12 f = m.conj().mul(m.inv());
+    f = frobPow(f, 2).mul(f);
+
+    const Fp12 plain = hardChainBN(f, sys.info().def.x);
+    using CE = CycloElem<Fp12, CubicCtx<Fp2>>;
+    const CE wrapped(f, &sys.tower().fp6);
+    const Fp12 fast = hardChainBN(wrapped, sys.info().def.x).value();
+    EXPECT_TRUE(fast.equals(plain));
+}
+
+TEST(Cyclotomic, ReducesLongOpsInTraces)
+{
+    // When the engine is told to use cyclotomic squaring, the compiled
+    // final exponentiation must contain fewer Long (mul/sqr) ops.
+    Framework fw("BN254N");
+    CompileOptions plain;
+    plain.part = TracePart::FinalExpOnly;
+    plain.variants.cyclotomicSqr = false;
+    CompileOptions cyclo = plain;
+    cyclo.variants.cyclotomicSqr = true;
+    const auto a = fw.compile(plain);
+    const auto b = fw.compile(cyclo);
+    EXPECT_LT(b.prog.module.countUnit(UnitClass::Mul),
+              a.prog.module.countUnit(UnitClass::Mul));
+    // And it still validates against the native reference.
+    EXPECT_TRUE(fw.validate(b, 1, TracePart::FinalExpOnly).allPassed());
+}
+
+TEST(Cyclotomic, FullPairingWithCycloSqrValidates)
+{
+    Framework fw("BLS12-381");
+    CompileOptions opt;
+    opt.variants.cyclotomicSqr = true;
+    const auto res = fw.compile(opt);
+    EXPECT_TRUE(fw.validate(res, 1).allPassed());
+}
+
+} // namespace
+} // namespace finesse

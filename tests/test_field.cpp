@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the extension-field operator kit: field axioms on every
+ * tower level, equivalence of all operator variants, Frobenius
+ * correctness, and tower parameter validation.
+ */
+#include <gtest/gtest.h>
+
+#include "field/fieldops.h"
+#include "field/sqrt.h"
+#include "field/tower.h"
+#include "support/rng.h"
+
+namespace finesse {
+namespace {
+
+// BN254 (SNARK / Nogami flavor irrelevant here: any p = 1 mod 6 prime
+// with a valid tower works for field-level tests).
+const char *kP254 =
+    "0x2523648240000001ba344d80000000086121000000000013a700000000000013";
+
+class FieldTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        p_ = BigInt::fromString(kP254);
+        fp_ = std::make_unique<FpCtx>(p_);
+        i64 q, x0, x1;
+        searchTowerNonResidues(p_, q, x0, x1);
+        prm_ = computeTowerParams(p_, 12, q, x0, x1);
+        tower_ = std::make_unique<NativeTower12>();
+        buildTower(*tower_, fp_.get(), prm_, VariantConfig{});
+    }
+
+    Fp
+    randFp()
+    {
+        return Fp::fromBig(fp_.get(), BigInt::randomBelow(rng_, p_));
+    }
+
+    Fp2
+    randFp2()
+    {
+        return {randFp(), randFp(), &tower_->fp2};
+    }
+
+    Fp6
+    randFp6()
+    {
+        return {randFp2(), randFp2(), randFp2(), &tower_->fp6};
+    }
+
+    Fp12
+    randFp12()
+    {
+        return {randFp6(), randFp6(), &tower_->fp12};
+    }
+
+    BigInt p_;
+    std::unique_ptr<FpCtx> fp_;
+    TowerParams prm_;
+    std::unique_ptr<NativeTower12> tower_;
+    Rng rng_{101};
+};
+
+TEST_F(FieldTest, FpBasics)
+{
+    const Fp a = randFp();
+    const Fp b = randFp();
+    EXPECT_TRUE(a.add(b).equals(b.add(a)));
+    EXPECT_TRUE(a.sub(a).isZero());
+    EXPECT_TRUE(a.dbl().equals(a.add(a)));
+    EXPECT_TRUE(a.tpl().equals(a.add(a).add(a)));
+    EXPECT_TRUE(a.mul(a.inv()).equals(Fp::one(fp_.get())));
+    EXPECT_TRUE(a.halve().dbl().equals(a));
+    EXPECT_TRUE(muliSmall(a, 7).equals(
+        a.add(a).add(a).add(a).add(a).add(a).add(a)));
+    EXPECT_TRUE(muliSmall(a, -5).equals(muliSmall(a, 5).neg()));
+    EXPECT_TRUE(muliSmall(a, 0).isZero());
+}
+
+template <typename F>
+void
+checkFieldAxioms(const F &a, const F &b, const F &c)
+{
+    // Commutativity / associativity / distributivity.
+    EXPECT_TRUE(a.mul(b).equals(b.mul(a)));
+    EXPECT_TRUE(a.mul(b.mul(c)).equals(a.mul(b).mul(c)));
+    EXPECT_TRUE(a.mul(b.add(c)).equals(a.mul(b).add(a.mul(c))));
+    // Squaring consistency.
+    EXPECT_TRUE(a.sqr().equals(a.mul(a)));
+    // Inverse.
+    EXPECT_TRUE(a.mul(a.inv()).equals(a.oneLike()));
+    // Linear ops.
+    EXPECT_TRUE(a.dbl().equals(a.add(a)));
+    EXPECT_TRUE(a.tpl().equals(a.add(a).add(a)));
+    EXPECT_TRUE(a.halve().dbl().equals(a));
+    EXPECT_TRUE(a.neg().add(a).isZero());
+}
+
+TEST_F(FieldTest, Fp2Axioms)
+{
+    for (int i = 0; i < 10; ++i)
+        checkFieldAxioms(randFp2(), randFp2(), randFp2());
+}
+
+TEST_F(FieldTest, Fp6Axioms)
+{
+    for (int i = 0; i < 5; ++i)
+        checkFieldAxioms(randFp6(), randFp6(), randFp6());
+}
+
+TEST_F(FieldTest, Fp12Axioms)
+{
+    for (int i = 0; i < 3; ++i)
+        checkFieldAxioms(randFp12(), randFp12(), randFp12());
+}
+
+TEST_F(FieldTest, VariantEquivalenceQuadratic)
+{
+    // The same product under every (mul, sqr) variant combination.
+    NativeTower12 alt;
+    VariantConfig cfg;
+    cfg.levels[2] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+    cfg.levels[6] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+    cfg.levels[12] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+    buildTower(alt, fp_.get(), prm_, cfg);
+
+    for (int i = 0; i < 10; ++i) {
+        const Fp2 a = randFp2();
+        const Fp2 b = randFp2();
+        const Fp2 aAlt{a.c0(), a.c1(), &alt.fp2};
+        const Fp2 bAlt{b.c0(), b.c1(), &alt.fp2};
+        EXPECT_TRUE(a.mul(b).equals(
+            Fp2{aAlt.mul(bAlt).c0(), aAlt.mul(bAlt).c1(), &tower_->fp2}));
+        EXPECT_TRUE(a.sqr().equals(
+            Fp2{aAlt.sqr().c0(), aAlt.sqr().c1(), &tower_->fp2}));
+    }
+}
+
+TEST_F(FieldTest, VariantEquivalenceCubic)
+{
+    for (auto sqrVar :
+         {SqrVariant::Schoolbook, SqrVariant::CHSqr2, SqrVariant::CHSqr3}) {
+        for (auto mulVar : {MulVariant::Schoolbook, MulVariant::Karatsuba}) {
+            NativeTower12 alt;
+            VariantConfig cfg;
+            cfg.levels[6] = {mulVar, sqrVar};
+            buildTower(alt, fp_.get(), prm_, cfg);
+            for (int i = 0; i < 5; ++i) {
+                const Fp6 a = randFp6();
+                const Fp6 b = randFp6();
+                const Fp6 aAlt{Fp2{a.c0().c0(), a.c0().c1(), &alt.fp2},
+                               Fp2{a.c1().c0(), a.c1().c1(), &alt.fp2},
+                               Fp2{a.c2().c0(), a.c2().c1(), &alt.fp2},
+                               &alt.fp6};
+                const Fp6 bAlt{Fp2{b.c0().c0(), b.c0().c1(), &alt.fp2},
+                               Fp2{b.c1().c0(), b.c1().c1(), &alt.fp2},
+                               Fp2{b.c2().c0(), b.c2().c1(), &alt.fp2},
+                               &alt.fp6};
+                std::vector<BigInt> want, got;
+                a.mul(b).toFpCoeffs(want);
+                aAlt.mul(bAlt).toFpCoeffs(got);
+                EXPECT_EQ(want, got);
+                want.clear();
+                got.clear();
+                a.sqr().toFpCoeffs(want);
+                aAlt.sqr().toFpCoeffs(got);
+                EXPECT_EQ(want, got)
+                    << "sqr variant " << toString(sqrVar);
+            }
+        }
+    }
+}
+
+TEST_F(FieldTest, FrobeniusMatchesPowP)
+{
+    // frob(x) must equal x^p on every level.
+    const Fp2 a2 = randFp2();
+    EXPECT_TRUE(a2.frob().equals(powBig(a2, p_)));
+    const Fp6 a6 = randFp6();
+    EXPECT_TRUE(a6.frob().equals(powBig(a6, p_)));
+    const Fp12 a12 = randFp12();
+    EXPECT_TRUE(a12.frob().equals(powBig(a12, p_)));
+    // frob^12 = identity on Fp12.
+    EXPECT_TRUE(frobN(a12, 12).equals(a12));
+    // frob is a ring homomorphism.
+    const Fp12 b12 = randFp12();
+    EXPECT_TRUE(a12.mul(b12).frob().equals(a12.frob().mul(b12.frob())));
+}
+
+TEST_F(FieldTest, ConjugateIsFrob6)
+{
+    // On Fp12, conjugation over Fp6 equals x -> x^(p^6).
+    const Fp12 a = randFp12();
+    EXPECT_TRUE(a.conj().equals(frobN(a, 6)));
+    // x * conj(x) lands in Fp6 (c1 = 0).
+    EXPECT_TRUE(a.mul(a.conj()).c1().isZero());
+}
+
+TEST_F(FieldTest, MulByGenMatchesExplicitGen)
+{
+    const Fp6 a = randFp6();
+    EXPECT_TRUE(a.mulByGen().equals(a.mul(Fp6::gen(&tower_->fp6))));
+    const Fp2 b = randFp2();
+    EXPECT_TRUE(b.mulByGen().equals(b.mul(Fp2::gen(&tower_->fp2))));
+    const Fp12 c = randFp12();
+    EXPECT_TRUE(c.mulByGen().equals(c.mul(Fp12::gen(&tower_->fp12))));
+}
+
+TEST_F(FieldTest, MulBySmallPair)
+{
+    const Fp2 a = randFp2();
+    const Fp2 xi = Fp2::one(&tower_->fp2).mulBySmallPair(prm_.xi0, prm_.xi1);
+    EXPECT_TRUE(a.mulBySmallPair(prm_.xi0, prm_.xi1).equals(a.mul(xi)));
+}
+
+TEST_F(FieldTest, ScaleScalar)
+{
+    const Fp s = randFp();
+    const Fp12 a = randFp12();
+    std::vector<BigInt> coeffs;
+    a.toFpCoeffs(coeffs);
+    const Fp12 scaled = a.scaleScalar(s);
+    std::vector<BigInt> got;
+    scaled.toFpCoeffs(got);
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+        EXPECT_EQ(got[i],
+                  (coeffs[i] * s.toBig()).mod(p_));
+    }
+}
+
+TEST_F(FieldTest, FromSlotsBasis)
+{
+    // fromSlots must agree with explicit powers of the generator z = w.
+    std::array<Fp2, 6> slots;
+    for (auto &s : slots)
+        s = Fp2::zero(&tower_->fp2);
+    const Fp2 val = randFp2();
+    for (int slot = 0; slot < 6; ++slot) {
+        for (auto &s : slots)
+            s = Fp2::zero(&tower_->fp2);
+        slots[slot] = val;
+        const Fp12 dense = tower_->fromSlots(slots);
+        // Build z^slot * embed(val) explicitly.
+        Fp12 z = Fp12::gen(&tower_->fp12);
+        Fp12 acc = tower_->fromSlots(
+            {val, Fp2::zero(&tower_->fp2), Fp2::zero(&tower_->fp2),
+             Fp2::zero(&tower_->fp2), Fp2::zero(&tower_->fp2),
+             Fp2::zero(&tower_->fp2)});
+        for (int i = 0; i < slot; ++i)
+            acc = acc.mul(z);
+        EXPECT_TRUE(dense.equals(acc)) << "slot " << slot;
+    }
+}
+
+TEST_F(FieldTest, PowBigMatchesRepeatedMul)
+{
+    const Fp2 a = randFp2();
+    Fp2 acc = Fp2::one(&tower_->fp2);
+    for (int i = 0; i < 13; ++i)
+        acc = acc.mul(a);
+    EXPECT_TRUE(powBig(a, BigInt(u64{13})).equals(acc));
+    EXPECT_TRUE(powBig(a, BigInt()).equals(Fp2::one(&tower_->fp2)));
+}
+
+TEST_F(FieldTest, SqrtFp)
+{
+    std::function<Fp()> sample = [&] { return randFp(); };
+    for (int i = 0; i < 20; ++i) {
+        const Fp a = randFp();
+        const Fp sq = a.sqr();
+        Fp root;
+        ASSERT_TRUE(trySqrt<Fp>(sq, p_, sample, root));
+        EXPECT_TRUE(root.sqr().equals(sq));
+    }
+    // Non-residues must be rejected: q from the tower params is one.
+    const Fp nr = Fp::fromInt(fp_.get(), prm_.q);
+    Fp root;
+    EXPECT_FALSE(trySqrt<Fp>(nr, p_, sample, root));
+}
+
+TEST_F(FieldTest, SqrtFp2)
+{
+    std::function<Fp2()> sample = [&] { return randFp2(); };
+    const BigInt order = p_ * p_;
+    int found = 0;
+    for (int i = 0; i < 10; ++i) {
+        const Fp2 a = randFp2();
+        const Fp2 sq = a.sqr();
+        Fp2 root = Fp2::zero(&tower_->fp2);
+        ASSERT_TRUE(trySqrt<Fp2>(sq, order, sample, root));
+        EXPECT_TRUE(root.sqr().equals(sq));
+        ++found;
+    }
+    EXPECT_EQ(found, 10);
+}
+
+TEST_F(FieldTest, TowerParamValidationRejectsBadResidues)
+{
+    // q = 1 is always a square: must be rejected.
+    EXPECT_THROW(computeTowerParams(p_, 12, 1, 1, 1), FatalError);
+}
+
+TEST(FieldTower24, BuildAndAxioms)
+{
+    // Search a small BLS24-ish prime for cheap Fp24 checks: x = 1 mod 3,
+    // p = (x-1)^2 (x^8 - x^4 + 1) / 3 + x prime and 1 mod 6.
+    BigInt p, r;
+    bool found = false;
+    for (u64 base = (u64{1} << 16); base < (u64{1} << 16) + 3000 && !found;
+         ++base) {
+        const BigInt x = -BigInt(base);
+        if (!(x.mod(BigInt(u64{3})) == BigInt(u64{1})))
+            continue;
+        const BigInt x4 = (x * x).pow(2);
+        r = x4 * x4 - x4 + BigInt(u64{1});
+        const BigInt cand =
+            ((x - BigInt(u64{1})).pow(2) * r).divExact(BigInt(u64{3})) + x;
+        if (cand.mod(BigInt(u64{6})) == BigInt(u64{1}) &&
+            isProbablePrime(cand)) {
+            p = cand;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    FpCtx fp(p);
+    i64 q, x0, x1;
+    searchTowerNonResidues(p, q, x0, x1);
+    const TowerParams prm = computeTowerParams(p, 24, q, x0, x1);
+    NativeTower24 t;
+    buildTower(t, &fp, prm, VariantConfig{});
+
+    Rng rng(7);
+    auto randFp = [&] { return Fp::fromBig(&fp, BigInt::randomBelow(rng, p)); };
+    auto randFp2 = [&] { return Fp2{randFp(), randFp(), &t.fp2}; };
+    auto randFp4 = [&] { return Fp4{randFp2(), randFp2(), &t.fp4}; };
+    auto randFp12 = [&] {
+        return Fp12b{randFp4(), randFp4(), randFp4(), &t.fp12};
+    };
+    auto randFp24 = [&] { return Fp24{randFp12(), randFp12(), &t.fp24}; };
+
+    for (int i = 0; i < 3; ++i)
+        checkFieldAxioms(randFp24(), randFp24(), randFp24());
+
+    const Fp24 a = randFp24();
+    EXPECT_TRUE(a.frob().equals(powBig(a, p)));
+    EXPECT_TRUE(frobN(a, 24).equals(a));
+    EXPECT_TRUE(a.conj().equals(frobN(a, 12)));
+}
+
+} // namespace
+} // namespace finesse
+// Appended edge-case coverage -------------------------------------------
+
+namespace finesse {
+namespace {
+
+TEST_F(FieldTest, InverseOfZeroIsZeroEverywhere)
+{
+    // Fermat inversion maps 0 -> 0; the tower formulas must preserve
+    // that convention (the hardware INV unit does the same).
+    EXPECT_TRUE(Fp::zero(fp_.get()).inv().isZero());
+    EXPECT_TRUE(Fp2::zero(&tower_->fp2).inv().isZero());
+    EXPECT_TRUE(Fp6::zero(&tower_->fp6).inv().isZero());
+    EXPECT_TRUE(Fp12::zero(&tower_->fp12).inv().isZero());
+}
+
+TEST_F(FieldTest, OneIsMultiplicativeIdentity)
+{
+    const Fp12 a = randFp12();
+    EXPECT_TRUE(a.mul(Fp12::one(&tower_->fp12)).equals(a));
+    EXPECT_TRUE(Fp12::one(&tower_->fp12).inv().equals(
+        Fp12::one(&tower_->fp12)));
+}
+
+TEST_F(FieldTest, CoeffSerializationRoundTrip)
+{
+    const Fp12 a = randFp12();
+    std::vector<BigInt> coeffs;
+    a.toFpCoeffs(coeffs);
+    ASSERT_EQ(coeffs.size(), 12u);
+    auto it = coeffs.begin();
+    const Fp12 back = Fp12::fromFpCoeffs(&tower_->fp12, it);
+    EXPECT_TRUE(back.equals(a));
+    EXPECT_EQ(it, coeffs.end());
+}
+
+TEST_F(FieldTest, GenHasCorrectMinimalPolynomial)
+{
+    // w^2 = v (the cubic generator), v^3 = xi.
+    const Fp12 w = Fp12::gen(&tower_->fp12);
+    const Fp12 wSquared = w.sqr();
+    const Fp6 v = Fp6::gen(&tower_->fp6);
+    EXPECT_TRUE(wSquared.c0().equals(v));
+    EXPECT_TRUE(wSquared.c1().isZero());
+    const Fp6 vCubed = v.sqr().mul(v);
+    const Fp2 xi =
+        Fp2::one(&tower_->fp2).mulBySmallPair(prm_.xi0, prm_.xi1);
+    EXPECT_TRUE(vCubed.c0().equals(xi));
+    EXPECT_TRUE(vCubed.c1().isZero() && vCubed.c2().isZero());
+}
+
+TEST_F(FieldTest, FrobeniusFixedFieldIsFp)
+{
+    // frob fixes exactly Fp-embedded elements.
+    const Fp s = randFp();
+    const Fp12 embedded = Fp12::one(&tower_->fp12).scaleScalar(s);
+    EXPECT_TRUE(embedded.frob().equals(embedded));
+}
+
+
+TEST(FieldTower24, VariantEquivalenceAllLevels)
+{
+    // Same arithmetic under swapped variants at every k = 24 level.
+    const BigInt x = -BigInt(u64{65558}); // from BuildAndAxioms search
+    const BigInt x4 = (x * x).pow(2);
+    const BigInt r = x4 * x4 - x4 + BigInt(u64{1});
+    BigInt p =
+        ((x - BigInt(u64{1})).pow(2) * r).divExact(BigInt(u64{3})) + x;
+    if (!isProbablePrime(p) || !(p.mod(BigInt(u64{6})) == BigInt(u64{1}))) {
+        // Fall back to a search if the fixed seed value is not prime.
+        for (u64 base = 1 << 16;; ++base) {
+            const BigInt xx = -BigInt(base);
+            if (!(xx.mod(BigInt(u64{3})) == BigInt(u64{1})))
+                continue;
+            const BigInt xx4 = (xx * xx).pow(2);
+            const BigInt rr = xx4 * xx4 - xx4 + BigInt(u64{1});
+            const BigInt cand =
+                ((xx - BigInt(u64{1})).pow(2) * rr)
+                    .divExact(BigInt(u64{3})) +
+                xx;
+            if (cand.mod(BigInt(u64{6})) == BigInt(u64{1}) &&
+                isProbablePrime(cand)) {
+                p = cand;
+                break;
+            }
+        }
+    }
+    FpCtx fp(p);
+    i64 q, x0, x1;
+    searchTowerNonResidues(p, q, x0, x1);
+    const TowerParams prm = computeTowerParams(p, 24, q, x0, x1);
+
+    NativeTower24 base;
+    buildTower(base, &fp, prm, VariantConfig{});
+    VariantConfig alt = VariantConfig::allSchoolbook({2, 4, 12, 24});
+    NativeTower24 school;
+    buildTower(school, &fp, prm, alt);
+
+    Rng rng(61);
+    auto randCoeffs = [&](int n) {
+        std::vector<BigInt> v;
+        for (int i = 0; i < n; ++i)
+            v.push_back(BigInt::randomBelow(rng, p));
+        return v;
+    };
+    for (int iter = 0; iter < 3; ++iter) {
+        const auto ca = randCoeffs(24);
+        const auto cb = randCoeffs(24);
+        auto ia = ca.begin();
+        auto ib = cb.begin();
+        const Fp24 a1 = Fp24::fromFpCoeffs(&base.fp24, ia);
+        const Fp24 b1 = Fp24::fromFpCoeffs(&base.fp24, ib);
+        ia = ca.begin();
+        ib = cb.begin();
+        const Fp24 a2 = Fp24::fromFpCoeffs(&school.fp24, ia);
+        const Fp24 b2 = Fp24::fromFpCoeffs(&school.fp24, ib);
+        std::vector<BigInt> want, got;
+        a1.mul(b1).toFpCoeffs(want);
+        a2.mul(b2).toFpCoeffs(got);
+        EXPECT_EQ(want, got);
+        want.clear();
+        got.clear();
+        a1.sqr().toFpCoeffs(want);
+        a2.sqr().toFpCoeffs(got);
+        EXPECT_EQ(want, got);
+        want.clear();
+        got.clear();
+        a1.inv().toFpCoeffs(want);
+        a2.inv().toFpCoeffs(got);
+        EXPECT_EQ(want, got);
+    }
+}
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * HIR tests: Table 4 typing rules, Figure 4 lowering (fp12.mul to fp6
+ * level under both variants), and semantic equivalence of the lowered
+ * program against the native tower by interpretation.
+ */
+#include <gtest/gtest.h>
+
+#include "field/tower.h"
+#include "ir/hir.h"
+#include "support/rng.h"
+
+namespace finesse {
+namespace {
+
+/** Interpreter for fp6-level HIR over the native tower. */
+class Fp6Interp
+{
+  public:
+    explicit Fp6Interp(const NativeTower12 &t) : t_(t) {}
+
+    std::vector<Fp6>
+    run(const HirModule &m, const std::vector<Fp6> &inputs)
+    {
+        std::vector<Fp6> vals(m.valueTypes.size(),
+                              Fp6::zero(&t_.fp6));
+        FINESSE_CHECK(inputs.size() == m.inputs.size());
+        for (size_t i = 0; i < inputs.size(); ++i)
+            vals[m.inputs[i]] = inputs[i];
+        for (const HirInst &inst : m.body) {
+            const Fp6 &a = vals[inst.a];
+            switch (inst.op) {
+              case HirOp::Add:
+                vals[inst.dst] = a.add(vals[inst.b]);
+                break;
+              case HirOp::Sub:
+                vals[inst.dst] = a.sub(vals[inst.b]);
+                break;
+              case HirOp::Mul:
+                vals[inst.dst] = a.mul(vals[inst.b]);
+                break;
+              case HirOp::Sqr:
+                vals[inst.dst] = a.sqr();
+                break;
+              case HirOp::MulI:
+                vals[inst.dst] = muliSmall(a, inst.imm);
+                break;
+              case HirOp::Adj:
+                vals[inst.dst] = a.mulByGen();
+                break;
+              default:
+                panic("unexpected op in fp6 interp");
+            }
+        }
+        std::vector<Fp6> out;
+        for (i32 o : m.outputs)
+            out.push_back(vals[o]);
+        return out;
+    }
+
+  private:
+    const NativeTower12 &t_;
+};
+
+class HirTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        p_ = BigInt::fromString(
+            "0x2523648240000001ba344d80000000086121000000000013"
+            "a700000000000013");
+        fp_ = std::make_unique<FpCtx>(p_);
+        i64 q, x0, x1;
+        searchTowerNonResidues(p_, q, x0, x1);
+        prm_ = computeTowerParams(p_, 12, q, x0, x1);
+        tower_ = std::make_unique<NativeTower12>();
+        buildTower(*tower_, fp_.get(), prm_, VariantConfig{});
+    }
+
+    Fp6
+    randFp6()
+    {
+        std::vector<BigInt> c;
+        for (int i = 0; i < 6; ++i)
+            c.push_back(BigInt::randomBelow(rng_, p_));
+        auto it = c.begin();
+        return Fp6::fromFpCoeffs(&tower_->fp6, it);
+    }
+
+    BigInt p_;
+    std::unique_ptr<FpCtx> fp_;
+    TowerParams prm_;
+    std::unique_ptr<NativeTower12> tower_;
+    Rng rng_{404};
+};
+
+HirModule
+fp12MulModule()
+{
+    HirModule m;
+    const HirType fp12{HirType::Kind::Field, 12};
+    const i32 a = m.input(fp12);
+    const i32 b = m.input(fp12);
+    m.outputs.push_back(m.emit(HirOp::Mul, fp12, a, b));
+    m.verify();
+    return m;
+}
+
+TEST_F(HirTest, Fig4KaratsubaShape)
+{
+    const HirModule lowered = lowerQuadLevel(
+        fp12MulModule(), 12, {MulVariant::Karatsuba, SqrVariant::Complex});
+    // Figure 4: 3 muls, 4 adds, 1 sub, 1 adj at the fp6 level.
+    int muls = 0, adds = 0, subs = 0, adjs = 0;
+    for (const HirInst &inst : lowered.body) {
+        muls += inst.op == HirOp::Mul;
+        adds += inst.op == HirOp::Add;
+        subs += inst.op == HirOp::Sub;
+        adjs += inst.op == HirOp::Adj;
+    }
+    EXPECT_EQ(muls, 3);
+    EXPECT_EQ(adds, 4);
+    EXPECT_EQ(subs, 1);
+    EXPECT_EQ(adjs, 1);
+    EXPECT_EQ(lowered.outputs.size(), 2u);
+    // The printed form matches the paper's style.
+    EXPECT_NE(lowered.print().find("fp6.mul"), std::string::npos);
+    EXPECT_NE(lowered.print().find("fp6.adj"), std::string::npos);
+}
+
+TEST_F(HirTest, LoweredSemanticsMatchNativeTower)
+{
+    for (auto variant : {MulVariant::Karatsuba, MulVariant::Schoolbook}) {
+        const HirModule lowered = lowerQuadLevel(
+            fp12MulModule(), 12, {variant, SqrVariant::Complex});
+        Fp6Interp interp(*tower_);
+        const Fp6 a0 = randFp6(), a1 = randFp6();
+        const Fp6 b0 = randFp6(), b1 = randFp6();
+        const auto out = interp.run(lowered, {a0, a1, b0, b1});
+        ASSERT_EQ(out.size(), 2u);
+        const Fp12 a{a0, a1, &tower_->fp12};
+        const Fp12 b{b0, b1, &tower_->fp12};
+        const Fp12 want = a.mul(b);
+        EXPECT_TRUE(want.c0().equals(out[0])) << toString(variant);
+        EXPECT_TRUE(want.c1().equals(out[1])) << toString(variant);
+    }
+}
+
+TEST_F(HirTest, SqrAndLinearLowering)
+{
+    HirModule m;
+    const HirType fp12{HirType::Kind::Field, 12};
+    const i32 a = m.input(fp12);
+    const i32 b = m.input(fp12);
+    const i32 s = m.emit(HirOp::Sqr, fp12, a);
+    const i32 d = m.emit(HirOp::Sub, fp12, s, b);
+    const i32 j = m.emit(HirOp::Adj, fp12, d);
+    const i32 c = m.emit(HirOp::Conj, fp12, j);
+    const i32 t = m.emit(HirOp::MulI, fp12, c, -1, 5);
+    m.outputs.push_back(t);
+    m.verify();
+
+    for (auto sqrVar : {SqrVariant::Complex, SqrVariant::Schoolbook}) {
+        const HirModule lowered =
+            lowerQuadLevel(m, 12, {MulVariant::Karatsuba, sqrVar});
+        Fp6Interp interp(*tower_);
+        const Fp6 a0 = randFp6(), a1 = randFp6();
+        const Fp6 b0 = randFp6(), b1 = randFp6();
+        const auto out = interp.run(lowered, {a0, a1, b0, b1});
+        const Fp12 av{a0, a1, &tower_->fp12};
+        const Fp12 bv{b0, b1, &tower_->fp12};
+        const Fp12 want =
+            muliSmall(av.sqr().sub(bv).mulByGen().conj(), 5);
+        EXPECT_TRUE(want.c0().equals(out[0]));
+        EXPECT_TRUE(want.c1().equals(out[1]));
+    }
+}
+
+TEST(HirTyping, VerifyRejectsIllTyped)
+{
+    HirModule m;
+    const HirType fp12{HirType::Kind::Field, 12};
+    const HirType fp2{HirType::Kind::Field, 2};
+    const i32 a = m.input(fp12);
+    const i32 b = m.input(fp2);
+    m.emit(HirOp::Add, fp12, a, b); // dimension mismatch
+    EXPECT_THROW(m.verify(), PanicError);
+}
+
+TEST(HirTyping, PointOps)
+{
+    HirModule m;
+    const HirType ep2{HirType::Kind::Point, 2};
+    const i32 p = m.input(ep2);
+    const i32 q = m.input(ep2);
+    const i32 s = m.emit(HirOp::PAdd, ep2, p, q);
+    const i32 t = m.emit(HirOp::PMul, ep2, s, -1, 12345);
+    m.outputs.push_back(t);
+    m.verify();
+    EXPECT_NE(m.print().find("ep2.padd"), std::string::npos);
+    EXPECT_NE(m.print().find("ep2.pmul"), std::string::npos);
+}
+
+} // namespace
+} // namespace finesse

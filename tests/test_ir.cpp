@@ -1,0 +1,139 @@
+/**
+ * @file
+ * IR structural tests: verifier catches SSA violations, printer
+ * renders, op metadata (arity, unit classes) is consistent, and the
+ * encoder's field-width adaptation behaves.
+ */
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "ir/ir.h"
+
+namespace finesse {
+namespace {
+
+Module
+tinyModule()
+{
+    Module m;
+    m.p = BigInt::fromString("101");
+    const i32 raw = m.numValues++;
+    m.inputs = {raw};
+    const i32 a = m.numValues++;
+    m.body.push_back({Op::Icv, a, raw, -1});
+    const i32 b = m.numValues++;
+    m.body.push_back({Op::Sqr, b, a, -1});
+    const i32 out = m.numValues++;
+    m.body.push_back({Op::Cvt, out, b, -1});
+    m.outputs = {out};
+    return m;
+}
+
+TEST(IrVerify, AcceptsWellFormed)
+{
+    Module m = tinyModule();
+    EXPECT_NO_THROW(m.verify());
+}
+
+TEST(IrVerify, RejectsUseBeforeDef)
+{
+    Module m = tinyModule();
+    m.body[1].a = m.body[1].dst; // self-reference
+    EXPECT_THROW(m.verify(), PanicError);
+}
+
+TEST(IrVerify, RejectsDoubleDef)
+{
+    Module m = tinyModule();
+    m.body[2].dst = m.body[1].dst;
+    EXPECT_THROW(m.verify(), PanicError);
+}
+
+TEST(IrVerify, RejectsUndefinedOutput)
+{
+    Module m = tinyModule();
+    m.outputs.push_back(m.numValues++); // never defined
+    EXPECT_THROW(m.verify(), PanicError);
+}
+
+TEST(IrVerify, RejectsOutOfRangeOperand)
+{
+    Module m = tinyModule();
+    m.body[1].a = 999;
+    EXPECT_THROW(m.verify(), PanicError);
+}
+
+TEST(IrMeta, ArityAndUnits)
+{
+    EXPECT_EQ(arity(Op::Add), 2);
+    EXPECT_EQ(arity(Op::Mul), 2);
+    EXPECT_EQ(arity(Op::Sqr), 1);
+    EXPECT_EQ(arity(Op::Nop), 0);
+    EXPECT_EQ(unitOf(Op::Mul), UnitClass::Mul);
+    EXPECT_EQ(unitOf(Op::Sqr), UnitClass::Mul);
+    EXPECT_EQ(unitOf(Op::Tpl), UnitClass::Linear);
+    EXPECT_EQ(unitOf(Op::Inv), UnitClass::Inv);
+    EXPECT_EQ(unitOf(Op::Nop), UnitClass::None);
+    // Every op has a printable name.
+    for (int i = 0; i <= static_cast<int>(Op::Icv); ++i)
+        EXPECT_STRNE(toString(static_cast<Op>(i)), "?");
+}
+
+TEST(IrPrint, RendersAndTruncates)
+{
+    Module m = tinyModule();
+    const std::string full = m.print(100);
+    EXPECT_NE(full.find("sqr"), std::string::npos);
+    const std::string cut = m.print(1);
+    EXPECT_NE(cut.find("more"), std::string::npos);
+}
+
+TEST(IrStats, CountsByUnit)
+{
+    Module m = tinyModule();
+    EXPECT_EQ(m.countUnit(UnitClass::Mul), 1u);
+    EXPECT_EQ(m.countUnit(UnitClass::Linear), 2u); // icv + cvt
+    EXPECT_EQ(m.countOp(Op::Sqr), 1u);
+}
+
+TEST(Encoding, WidthAdaptsToRegisterPressure)
+{
+    // Tiny module: fits a 32-bit word.
+    Module m = tinyModule();
+    const CompileResult small = runBackend(m, PipelineModel{}, true);
+    EXPECT_EQ(small.binary.wordBits, 32);
+
+    // A module with thousands of simultaneously-live values forces
+    // wide register fields.
+    Module big;
+    big.p = BigInt::fromString("101");
+    const i32 raw = big.numValues++;
+    big.inputs = {raw};
+    const i32 a = big.numValues++;
+    big.body.push_back({Op::Icv, a, raw, -1});
+    std::vector<i32> vals{a};
+    for (int i = 0; i < 3000; ++i) {
+        const i32 d = big.numValues++;
+        big.body.push_back({Op::Add, d, vals.back(), a});
+        vals.push_back(d);
+    }
+    // Sum everything so all values stay live to the end.
+    i32 acc = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i) {
+        const i32 d = big.numValues++;
+        big.body.push_back({Op::Add, d, acc, vals[i]});
+        acc = d;
+    }
+    const i32 out = big.numValues++;
+    big.body.push_back({Op::Cvt, out, acc, -1});
+    big.outputs = {out};
+    big.verify();
+    // Program order keeps every value live across the creation phase
+    // (list scheduling would interleave and collapse the pressure).
+    const CompileResult wide = runBackend(big, PipelineModel{}, false);
+    EXPECT_GT(wide.prog.regs.maxRegs(), 512);
+    EXPECT_EQ(wide.binary.wordBits, 64);
+}
+
+} // namespace
+} // namespace finesse

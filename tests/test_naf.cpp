@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Property tests for NAF / binary recoding.
+ */
+#include <gtest/gtest.h>
+
+#include "pairing/naf.h"
+#include "support/rng.h"
+
+namespace finesse {
+namespace {
+
+BigInt
+reconstruct(const std::vector<int> &digits)
+{
+    BigInt v;
+    for (int d : digits) {
+        v = v << 1;
+        if (d == 1)
+            v = v + BigInt(u64{1});
+        else if (d == -1)
+            v = v - BigInt(u64{1});
+    }
+    return v;
+}
+
+class NafProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NafProperty, ReconstructsAndNonAdjacent)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        const BigInt v = BigInt::randomBits(rng, GetParam());
+        const auto digits = nafDigits(v);
+        EXPECT_EQ(reconstruct(digits), v);
+        // Non-adjacency: no two consecutive nonzero digits.
+        for (size_t i = 1; i < digits.size(); ++i) {
+            EXPECT_FALSE(digits[i] != 0 && digits[i - 1] != 0)
+                << "adjacent nonzeros at " << i;
+        }
+        // Leading digit is 1; length <= bits + 1.
+        EXPECT_EQ(digits.front(), 1);
+        EXPECT_LE(digits.size(),
+                  static_cast<size_t>(v.bitLength()) + 1);
+        // NAF has at most ~1/3 nonzero density (allow slack).
+        size_t nonzero = 0;
+        for (int d : digits)
+            nonzero += d != 0;
+        EXPECT_LE(nonzero, digits.size() / 2 + 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NafProperty,
+                         ::testing::Values(8, 62, 64, 127, 254, 509));
+
+TEST(Naf, SmallKnownValues)
+{
+    // 7 = 8 - 1 -> 1 0 0 -1
+    EXPECT_EQ(nafDigits(BigInt(u64{7})),
+              (std::vector<int>{1, 0, 0, -1}));
+    // 1 -> 1
+    EXPECT_EQ(nafDigits(BigInt(u64{1})), (std::vector<int>{1}));
+    // 12 = 1100b -> 1 1 0 0 has adjacency; NAF: 10-100 (16-4)
+    EXPECT_EQ(nafDigits(BigInt(u64{12})),
+              (std::vector<int>{1, 0, -1, 0, 0}));
+}
+
+TEST(Naf, BinaryDigits)
+{
+    Rng rng(3);
+    const BigInt v = BigInt::randomBits(rng, 100);
+    const auto digits = binaryDigits(v);
+    EXPECT_EQ(reconstruct(digits), v);
+    EXPECT_EQ(digits.size(), static_cast<size_t>(v.bitLength()));
+}
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Operator-cost fidelity tests (Table 3 of the paper): trace a single
+ * tower operation symbolically and count the Fp-level machine
+ * operations it decomposes into. This pins the compiler's lowering to
+ * the costs the paper's design space is built on:
+ *   M_{2d} = 4 M_d (schoolbook) or 3 M_d (Karatsuba)
+ *   M_{3d} = 9 M_d (schoolbook) or 6 M_d (Karatsuba)
+ *   S_{2d} = 2 M_d (complex) / 2 S_d + 1 M_d (schoolbook)
+ *   S_{3d} = 2 M_d + 3 S_d (CH-SQR3), 1 M_d + 4 S_d (+halvings, CH-SQR2)
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/symfp.h"
+#include "field/tower.h"
+#include "pairing/cache.h"
+
+namespace finesse {
+namespace {
+
+struct OpCount
+{
+    size_t mul = 0, sqr = 0, linear = 0, constMul = 0;
+};
+
+/** Trace builder harness around one symbolic tower. */
+class CostHarness
+{
+  public:
+    CostHarness()
+        : sys_(curveSystem12("BN254N")), tb_(sys_.info().p), sctx_{&tb_}
+    {}
+
+    template <typename Fn>
+    OpCount
+    countOps(const VariantConfig &vc, Fn &&body)
+    {
+        Tower12<SymFp> tower;
+        buildTower(tower, &sctx_, sys_.towerParams(), vc);
+        const size_t mark = markSize();
+        body(tower);
+        return tally(mark);
+    }
+
+    SymFp
+    freshFp()
+    {
+        return SymFp{tb_.emit(Op::Icv, tb_.fresh()), &sctx_};
+    }
+
+  private:
+    size_t
+    markSize()
+    {
+        // Finish is destructive; track counts via a snapshot trace.
+        return snapshot_.size();
+    }
+
+    OpCount
+    tally(size_t)
+    {
+        Module m = tb_.finish();
+        OpCount c;
+        for (const Inst &inst : m.body) {
+            switch (unitOf(inst.op)) {
+              case UnitClass::Mul:
+                if (inst.op == Op::Sqr)
+                    c.sqr++;
+                else
+                    c.mul++;
+                break;
+              case UnitClass::Linear:
+                if (inst.op != Op::Icv && inst.op != Op::Cvt)
+                    c.linear++;
+                break;
+              default:
+                break;
+            }
+        }
+        // Rebuild the builder for the next measurement.
+        tb_ = TraceBuilder(sys_.info().p);
+        sctx_ = SymFp::Ctx{&tb_};
+        return c;
+    }
+
+    const CurveSystem12 &sys_;
+    TraceBuilder tb_;
+    SymFp::Ctx sctx_;
+    std::vector<Inst> snapshot_;
+};
+
+using SFp2 = Tower12<SymFp>::Fp2T;
+using SFp6 = Tower12<SymFp>::Fp6T;
+using SFp12 = Tower12<SymFp>::Fp12T;
+
+template <typename F, typename Ctx>
+F
+freshElem(CostHarness &h, const Ctx *ctx)
+{
+    if constexpr (std::is_same_v<F, SymFp>) {
+        (void)ctx;
+        return h.freshFp();
+    } else if constexpr (requires(F f) { f.c2(); }) {
+        using B = std::decay_t<decltype(std::declval<F>().c0())>;
+        return F{freshElem<B>(h, ctx->base), freshElem<B>(h, ctx->base),
+                 freshElem<B>(h, ctx->base), ctx};
+    } else {
+        using B = std::decay_t<decltype(std::declval<F>().c0())>;
+        return F{freshElem<B>(h, ctx->base), freshElem<B>(h, ctx->base),
+                 ctx};
+    }
+}
+
+TEST(OpCosts, Fp2MulVariants)
+{
+    CostHarness h;
+    VariantConfig karat;
+    karat.levels[2] = {MulVariant::Karatsuba, SqrVariant::Complex};
+    const OpCount k = h.countOps(karat, [&](Tower12<SymFp> &t) {
+        auto a = freshElem<SFp2>(h, &t.fp2);
+        auto b = freshElem<SFp2>(h, &t.fp2);
+        (void)a.mul(b);
+    });
+    EXPECT_EQ(k.mul + k.sqr, 3u); // Karatsuba: 3 M_1
+
+    VariantConfig school;
+    school.levels[2] = {MulVariant::Schoolbook, SqrVariant::Schoolbook};
+    const OpCount s = h.countOps(school, [&](Tower12<SymFp> &t) {
+        auto a = freshElem<SFp2>(h, &t.fp2);
+        auto b = freshElem<SFp2>(h, &t.fp2);
+        (void)a.mul(b);
+    });
+    EXPECT_EQ(s.mul + s.sqr, 4u); // Schoolbook: 4 M_1
+    // Karatsuba spends more linear ops than schoolbook.
+    EXPECT_GT(k.linear, s.linear);
+}
+
+TEST(OpCosts, Fp2SqrVariants)
+{
+    CostHarness h;
+    VariantConfig complex;
+    complex.levels[2] = {MulVariant::Karatsuba, SqrVariant::Complex};
+    const OpCount c = h.countOps(complex, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp2>(h, &t.fp2).sqr();
+    });
+    EXPECT_EQ(c.mul, 2u); // complex: 2 M_1
+    EXPECT_EQ(c.sqr, 0u);
+
+    VariantConfig school;
+    school.levels[2] = {MulVariant::Karatsuba, SqrVariant::Schoolbook};
+    const OpCount s = h.countOps(school, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp2>(h, &t.fp2).sqr();
+    });
+    EXPECT_EQ(s.sqr, 2u); // schoolbook: 2 S_1 + 1 M_1
+    EXPECT_EQ(s.mul, 1u);
+}
+
+TEST(OpCosts, Fp6MulOverFp2)
+{
+    // Count in units of Fp2 muls: karatsuba-on-2 means M_1-count = 3x.
+    CostHarness h;
+    VariantConfig cfg;
+    cfg.levels[2] = {MulVariant::Karatsuba, SqrVariant::Complex};
+    cfg.levels[6] = {MulVariant::Karatsuba, SqrVariant::CHSqr3};
+    const OpCount k = h.countOps(cfg, [&](Tower12<SymFp> &t) {
+        auto a = freshElem<SFp6>(h, &t.fp6);
+        auto b = freshElem<SFp6>(h, &t.fp6);
+        (void)a.mul(b);
+    });
+    EXPECT_EQ(k.mul + k.sqr, 6u * 3u); // 6 M_2 = 18 M_1
+
+    cfg.levels[6].mul = MulVariant::Schoolbook;
+    const OpCount s = h.countOps(cfg, [&](Tower12<SymFp> &t) {
+        auto a = freshElem<SFp6>(h, &t.fp6);
+        auto b = freshElem<SFp6>(h, &t.fp6);
+        (void)a.mul(b);
+    });
+    EXPECT_EQ(s.mul + s.sqr, 9u * 3u); // 9 M_2
+}
+
+TEST(OpCosts, Fp6SqrVariants)
+{
+    CostHarness h;
+    VariantConfig cfg;
+    cfg.levels[2] = {MulVariant::Karatsuba, SqrVariant::Complex};
+    cfg.levels[6] = {MulVariant::Karatsuba, SqrVariant::CHSqr3};
+    const OpCount ch3 = h.countOps(cfg, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp6>(h, &t.fp6).sqr();
+    });
+    // CH-SQR3: 2 M_2 + 3 S_2 = 2*3 + 3*2 = 12 multiplicative Fp ops.
+    EXPECT_EQ(ch3.mul + ch3.sqr, 12u);
+
+    cfg.levels[6].sqr = SqrVariant::CHSqr2;
+    const OpCount ch2 = h.countOps(cfg, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp6>(h, &t.fp6).sqr();
+    });
+    // CH-SQR2: 1 M_2 + 4 S_2 (+ 2 halvings = const muls): 3 + 8 + 4.
+    EXPECT_EQ(ch2.mul + ch2.sqr, 15u);
+
+    cfg.levels[6].sqr = SqrVariant::Schoolbook;
+    const OpCount sb = h.countOps(cfg, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp6>(h, &t.fp6).sqr();
+    });
+    // Schoolbook: 3 M_2 + 3 S_2 = 9 + 6 = 15.
+    EXPECT_EQ(sb.mul + sb.sqr, 15u);
+}
+
+TEST(OpCosts, Fp12MulFullTower)
+{
+    CostHarness h;
+    VariantConfig karat; // defaults: all karatsuba
+    const OpCount k = h.countOps(karat, [&](Tower12<SymFp> &t) {
+        auto a = freshElem<SFp12>(h, &t.fp12);
+        auto b = freshElem<SFp12>(h, &t.fp12);
+        (void)a.mul(b);
+    });
+    // 3 M_6 = 3 * 6 M_2 = 18 M_2 = 54 M_1 all-Karatsuba.
+    EXPECT_EQ(k.mul + k.sqr, 54u);
+}
+
+TEST(OpCosts, AdjIsLinear)
+{
+    // Multiplication by the adjoined element must cost only linear ops
+    // (Table 3's B in O(log p)).
+    CostHarness h;
+    const OpCount c = h.countOps(VariantConfig{}, [&](Tower12<SymFp> &t) {
+        (void)freshElem<SFp6>(h, &t.fp6).mulByGen();
+    });
+    EXPECT_EQ(c.mul + c.sqr, 0u);
+    EXPECT_GT(c.linear, 0u);
+}
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Program-image serialization tests: round trip, binary-level
+ * execution of a reloaded image, and malformed-input rejection.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/framework.h"
+#include "isa/progio.h"
+#include "sim/binary.h"
+
+namespace finesse {
+namespace {
+
+TEST(ProgIo, RoundTripExecutes)
+{
+    Framework fw("BN254N");
+    CompileOptions opt;
+    opt.part = TracePart::MillerOnly;
+    const CompileResult res = fw.compile(opt);
+
+    std::stringstream buf;
+    writeProgram(buf, res.binary, fw.info().p);
+
+    BigInt p;
+    const EncodedProgram loaded = readProgram(buf, p);
+    EXPECT_EQ(p, fw.info().p);
+    EXPECT_EQ(loaded.words, res.binary.words);
+    EXPECT_EQ(loaded.wordBits, res.binary.wordBits);
+    EXPECT_EQ(loaded.constPool.size(), res.binary.constPool.size());
+    EXPECT_EQ(loaded.inputRegs.size(), res.binary.inputRegs.size());
+
+    // The reloaded image computes the same Miller loop.
+    Rng rng(9);
+    FpCtx fp(p);
+    const auto inputs =
+        fw.handle().sampleInputs(rng, TracePart::MillerOnly);
+    const auto want =
+        fw.handle().nativeReference(inputs, TracePart::MillerOnly);
+    EXPECT_EQ(runEncoded(loaded, fp, inputs), want);
+}
+
+TEST(ProgIo, RejectsMalformed)
+{
+    BigInt p;
+    std::stringstream notMagic("HELLO\n");
+    EXPECT_THROW(readProgram(notMagic, p), FatalError);
+
+    std::stringstream truncated("FINESSE-PROG v1\np 0x65\n");
+    EXPECT_THROW(readProgram(truncated, p), FatalError);
+
+    std::stringstream badShape(
+        "FINESSE-PROG v1\np 0x65\nshape x y\n");
+    EXPECT_THROW(readProgram(badShape, p), FatalError);
+}
+
+} // namespace
+} // namespace finesse

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * finesse-cli: command-line front end of the framework (the paper's
+ * "modular invocation with command-line parameters").
+ *
+ * Usage:
+ *   finesse_cli <command> [config-file]
+ * Commands:
+ *   compile    trace + optimize + schedule + encode; print statistics
+ *   validate   compile, then cross-validate on the functional simulator
+ *   simulate   compile, then cycle-accurate simulation
+ *   area       compile, then area/timing report (1/4/8 cores)
+ *   dse        exhaustive operator-variant search on the configured hw
+ *   disasm     compile and print the binary head
+ *   deploy     compile and save a program image:
+ *                finesse_cli deploy <config> <image-file>
+ *   exec       execute a saved image on hex inputs:
+ *                finesse_cli exec <image-file> 0x12 0x34 ...
+ * The config file uses `key = value` lines (see core/options.h); when
+ * omitted, defaults (BN254N, paper hardware model) apply.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dse/explorer.h"
+#include "core/options.h"
+#include "isa/progio.h"
+#include "sim/binary.h"
+
+using namespace finesse;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: finesse_cli "
+                 "{compile|validate|simulate|area|dse|disasm} "
+                 "[config-file]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    Config cfg;
+    if (argc > 2) {
+        std::ifstream in(argv[2]);
+        if (!in) {
+            std::fprintf(stderr, "cannot open config: %s\n", argv[2]);
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        cfg = Config::parse(text.str());
+    }
+
+    try {
+        if (command == "exec") {
+            if (argc < 3)
+                return usage();
+            BigInt p;
+            const EncodedProgram prog = loadProgramFile(argv[2], p);
+            std::vector<BigInt> inputs;
+            for (int i = 3; i < argc; ++i)
+                inputs.push_back(BigInt::fromString(argv[i]));
+            FpCtx fp(p);
+            const auto out = runEncoded(prog, fp, inputs);
+            for (const BigInt &v : out)
+                std::printf("%s\n", v.toHexString().c_str());
+            return 0;
+        }
+
+        const std::string curve = curveFromConfig(cfg);
+        const CompileOptions opt = optionsFromConfig(cfg);
+        Framework fw(curve);
+        std::printf("curve %s | hw %s\n", curve.c_str(),
+                    opt.hw.describe().c_str());
+
+        if (command == "dse") {
+            Explorer ex(curve);
+            const DsePoint best =
+                ex.exploreVariants(opt.hw, Objective::MinCycles, true);
+            std::printf("best combo: %lld cycles, IPC %.2f, %.2f mm^2, "
+                        "%.1f us\n",
+                        static_cast<long long>(best.cycles), best.ipc,
+                        best.areaMm2, best.latencyUs);
+            for (int d : ex.towerDegrees()) {
+                std::printf("  level %-2d mul=%s\n", d,
+                            toString(best.variants.level(d).mul));
+            }
+            return 0;
+        }
+
+        const CompileResult res = fw.compile(opt);
+        std::printf("compiled %zu instrs (IROpt -%.1f%%), %zu bundles, "
+                    "%.2f s\n",
+                    res.instrs(), res.opt.reductionPct(),
+                    res.binary.numBundles, res.compileSeconds);
+
+        if (command == "compile") {
+            return 0;
+        } else if (command == "validate") {
+            const ValidationReport rep = fw.validate(res, 3, opt.part);
+            std::printf("validation: %d/%d SSA, %d/%d register file\n",
+                        rep.moduleMatches, rep.vectors,
+                        rep.allocatedMatches, rep.vectors);
+            return rep.allPassed() ? 0 : 1;
+        } else if (command == "simulate") {
+            const CycleStats sim = fw.simulate(res);
+            std::printf("cycles %lld, IPC %.3f, bubbles %lld\n",
+                        static_cast<long long>(sim.totalCycles),
+                        sim.ipc(),
+                        static_cast<long long>(sim.bubbles));
+            return 0;
+        } else if (command == "area") {
+            TimingModel timing;
+            const double mhz = timing.frequencyMHz(fw.info().logP(),
+                                                   opt.hw.longLat);
+            const CycleStats sim = fw.simulate(res);
+            for (int cores : {1, 4, 8}) {
+                const AreaReport a = fw.area(res, cores);
+                std::printf("%d-core: %s | %.0f MHz | %.1f kops | "
+                            "%.2f kops/mm^2\n",
+                            cores, a.describe().c_str(), mhz,
+                            cores * mhz * 1e3 / double(sim.totalCycles),
+                            cores * mhz * 1e3 / double(sim.totalCycles) /
+                                a.totalArea);
+            }
+            return 0;
+        } else if (command == "disasm") {
+            std::printf("%s", res.binary.disassemble(24).c_str());
+            return 0;
+        } else if (command == "deploy") {
+            if (argc < 4)
+                return usage();
+            saveProgramFile(argv[3], res.binary, fw.info().p);
+            std::printf("program image written to %s (%zu words, "
+                        "%zu constants)\n",
+                        argv[3], res.binary.words.size(),
+                        res.binary.constPool.size());
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
