@@ -1,8 +1,10 @@
 /**
  * @file
- * IROpt implementation. One fused forward pass (constant folding,
- * identity/zero rules, strength reduction, GVN) followed by backward
- * DCE, iterated to a fixpoint.
+ * The five IROpt front-end passes as discrete Pass objects over a
+ * shared rewrite engine: constant folding, zero/one propagation,
+ * strength reduction, global value numbering and dead code
+ * elimination. The PassManager (compiler/pipeline.cpp) iterates them
+ * to a fixpoint; optimizeModule() is the classic one-call wrapper.
  */
 #include "compiler/passes.h"
 
@@ -10,6 +12,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "compiler/pipeline.h"
 #include "support/common.h"
 
 namespace finesse {
@@ -41,26 +44,38 @@ struct VnKeyHash
     }
 };
 
-class Optimizer
+/**
+ * Shared forward-rewrite engine. One sweep walks the body in order,
+ * resolves operands through the replacements made earlier in the same
+ * sweep, and asks the concrete pass to simplify each instruction:
+ * a non-negative return elides the instruction in favor of an existing
+ * value id; simplify() may also rewrite the op in place (strength
+ * reduction). Constant tracking and interning are provided for the
+ * passes that fold values.
+ */
+class RewritePass : public Pass
 {
   public:
-    explicit Optimizer(Module &m) : m_(m) {}
+    bool isFrontend() const override { return true; }
 
     bool
-    runOnce()
+    run(CompilationContext &ctx) override
     {
-        rep_.assign(m_.numValues, -1);
+        Module &m = ctx.module();
+        m_ = &m;
+        rep_.assign(static_cast<size_t>(m.numValues), -1);
         constVal_.clear();
         constIds_.clear();
-        vn_.clear();
-        for (const auto &c : m_.constants) {
+        for (const auto &c : m.constants) {
             constVal_[c.id] = c.value;
             constIds_[c.value] = c.id;
         }
+        beginSweep(m);
 
+        bool changed = false;
         std::vector<Inst> newBody;
-        newBody.reserve(m_.body.size());
-        for (const Inst &raw : m_.body) {
+        newBody.reserve(m.body.size());
+        for (const Inst &raw : m.body) {
             Inst inst = raw;
             if (arity(inst.op) >= 1)
                 inst.a = resolve(inst.a);
@@ -70,64 +85,35 @@ class Optimizer
             const i32 replacement = simplify(inst);
             if (replacement >= 0) {
                 rep_[inst.dst] = replacement;
+                changed = true;
                 continue;
             }
-            // GVN with commutativity canonicalization.
-            VnKey key{inst.op, inst.a, inst.b};
-            if (inst.op == Op::Add || inst.op == Op::Mul) {
-                if (key.a > key.b)
-                    std::swap(key.a, key.b);
-            }
-            auto it = vn_.find(key);
-            if (it != vn_.end()) {
-                rep_[inst.dst] = it->second;
-                continue;
-            }
-            vn_.emplace(key, inst.dst);
+            changed |= inst.op != raw.op;
             newBody.push_back(inst);
         }
-
-        for (auto &out : m_.outputs)
+        for (auto &out : m.outputs)
             out = resolve(out);
-
-        // Dead code elimination (backward liveness from outputs).
-        std::vector<u8> live(m_.numValues, 0);
-        for (i32 out : m_.outputs)
-            live[out] = 1;
-        std::vector<Inst> kept;
-        kept.reserve(newBody.size());
-        for (size_t i = newBody.size(); i-- > 0;) {
-            const Inst &inst = newBody[i];
-            if (!live[inst.dst])
-                continue;
-            if (arity(inst.op) >= 1)
-                live[inst.a] = 1;
-            if (arity(inst.op) >= 2)
-                live[inst.b] = 1;
-            kept.push_back(inst);
-        }
-        std::reverse(kept.begin(), kept.end());
-
-        // Drop now-unreferenced constants from the pool.
-        std::vector<ConstEntry> usedConsts;
-        for (const auto &c : m_.constants) {
-            if (live[c.id])
-                usedConsts.push_back(c);
-        }
-
-        const bool changed = kept.size() != m_.body.size() ||
-                             usedConsts.size() != m_.constants.size();
-        m_.body = std::move(kept);
-        m_.constants = std::move(usedConsts);
+        m.body = std::move(newBody);
+        m_ = nullptr;
         return changed;
     }
 
-  private:
+  protected:
+    /** Per-sweep setup hook (e.g. clearing the GVN table). */
+    virtual void beginSweep(Module &) {}
+
+    /**
+     * Try to simplify @p inst (which may be rewritten in place).
+     * Returns a replacement value id when the instruction can be
+     * elided entirely, -1 otherwise.
+     */
+    virtual i32 simplify(Inst &inst) = 0;
+
     i32
-    resolve(i32 id)
+    resolve(i32 id) const
     {
-        while (id >= 0 && rep_[id] >= 0)
-            id = rep_[id];
+        while (id >= 0 && rep_[static_cast<size_t>(id)] >= 0)
+            id = rep_[static_cast<size_t>(id)];
         return id;
     }
 
@@ -141,32 +127,102 @@ class Optimizer
         return true;
     }
 
+    /** Intern @p v into the constant pool, reusing an existing id. */
     i32
     internConst(const BigInt &v)
     {
         auto it = constIds_.find(v);
         if (it != constIds_.end())
             return it->second;
-        const i32 id = m_.numValues++;
+        const i32 id = m_->numValues++;
         rep_.push_back(-1);
-        m_.constants.push_back({id, v});
+        m_->constants.push_back({id, v});
         constVal_[id] = v;
         constIds_[v] = id;
         return id;
     }
 
-    /**
-     * Try to simplify @p inst (which may be rewritten in place for
-     * strength reduction). Returns a replacement value id when the
-     * instruction can be elided entirely, -1 otherwise.
-     */
-    i32
-    simplify(Inst &inst)
+    const BigInt &modulus() const { return m_->p; }
+
+  private:
+    Module *m_ = nullptr;
+    std::vector<i32> rep_;
+    std::unordered_map<i32, BigInt> constVal_;
+    std::map<BigInt, i32> constIds_;
+};
+
+/** constfold: evaluate instructions whose operands are all constant. */
+class ConstFoldPass final : public RewritePass
+{
+  public:
+    const std::string &
+    name() const override
     {
-        const BigInt &p = m_.p;
+        static const std::string n = "constfold";
+        return n;
+    }
+
+  protected:
+    i32
+    simplify(Inst &inst) override
+    {
+        const BigInt &p = modulus();
         BigInt ca, cb;
         const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
         const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
+        if (!aConst || (arity(inst.op) >= 2 && !bConst))
+            return -1;
+
+        switch (inst.op) {
+          case Op::Add:
+            return internConst((ca + cb).mod(p));
+          case Op::Sub:
+            return internConst((ca - cb).mod(p));
+          case Op::Mul:
+            return internConst((ca * cb).mod(p));
+          case Op::Sqr:
+            return internConst((ca * ca).mod(p));
+          case Op::Neg:
+            return internConst((-ca).mod(p));
+          case Op::Dbl:
+            return internConst((ca + ca).mod(p));
+          case Op::Tpl:
+            return internConst((ca + ca + ca).mod(p));
+          case Op::Inv:
+            return internConst(ca.isZero() ? BigInt() : ca.invMod(p));
+          case Op::Cvt:
+          case Op::Icv:
+          case Op::Nop:
+            return -1;
+        }
+        return -1;
+    }
+};
+
+/**
+ * zerooneprop: algebraic identities around the ring units -- x+0, x-0,
+ * x*1, x*0, x-x and 0-x. Recovers the literature's manual sparse
+ * multiplication optimizations once line evaluations feed Fp^k
+ * arithmetic with structural zeros/ones (Table 7 discussion).
+ */
+class ZeroOnePropPass final : public RewritePass
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "zerooneprop";
+        return n;
+    }
+
+  protected:
+    i32
+    simplify(Inst &inst) override
+    {
+        BigInt ca, cb;
+        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
+        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
+        const BigInt one(u64{1});
 
         switch (inst.op) {
           case Op::Add:
@@ -174,38 +230,64 @@ class Optimizer
                 return inst.b;
             if (bConst && cb.isZero())
                 return inst.a;
-            if (aConst && bConst)
-                return internConst((ca + cb).mod(p));
-            if (inst.a == inst.b) {
-                inst.op = Op::Dbl;
-                inst.b = -1;
-            }
             return -1;
           case Op::Sub:
             if (bConst && cb.isZero())
                 return inst.a;
             if (inst.a == inst.b)
                 return internConst(BigInt());
-            if (aConst && bConst)
-                return internConst((ca - cb).mod(p));
             if (aConst && ca.isZero()) {
                 inst.op = Op::Neg;
                 inst.a = inst.b;
                 inst.b = -1;
             }
             return -1;
-          case Op::Mul: {
+          case Op::Mul:
             if ((aConst && ca.isZero()) || (bConst && cb.isZero()))
                 return internConst(BigInt());
-            if (aConst && ca == BigInt(u64{1}))
+            if (aConst && ca == one)
                 return inst.b;
-            if (bConst && cb == BigInt(u64{1}))
+            if (bConst && cb == one)
                 return inst.a;
-            if (aConst && bConst)
-                return internConst((ca * cb).mod(p));
-            // Strength reduction on small constants.
-            const BigInt pm1 = p - BigInt(u64{1});
-            auto strengthReduce = [&](const BigInt &c, i32 other) {
+            return -1;
+          default:
+            return -1;
+        }
+    }
+};
+
+/**
+ * strengthreduce: demote Long-unit multiplications to cheaper forms --
+ * mul by 2/3/p-1 -> DBL/TPL/NEG, mul(x, x) -> SQR, add(x, x) -> DBL.
+ */
+class StrengthReducePass final : public RewritePass
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "strengthreduce";
+        return n;
+    }
+
+  protected:
+    i32
+    simplify(Inst &inst) override
+    {
+        BigInt ca, cb;
+        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
+        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
+
+        switch (inst.op) {
+          case Op::Add:
+            if (inst.a == inst.b) {
+                inst.op = Op::Dbl;
+                inst.b = -1;
+            }
+            return -1;
+          case Op::Mul: {
+            const BigInt pm1 = modulus() - BigInt(u64{1});
+            auto reduce = [&](const BigInt &c, i32 other) {
                 if (c == BigInt(u64{2})) {
                     inst.op = Op::Dbl;
                     inst.a = other;
@@ -226,9 +308,9 @@ class Optimizer
                 }
                 return false;
             };
-            if (aConst && strengthReduce(ca, inst.b))
+            if (aConst && reduce(ca, inst.b))
                 return -1;
-            if (bConst && strengthReduce(cb, inst.a))
+            if (bConst && reduce(cb, inst.a))
                 return -1;
             if (inst.a == inst.b) {
                 inst.op = Op::Sqr;
@@ -236,58 +318,118 @@ class Optimizer
             }
             return -1;
           }
-          case Op::Sqr:
-            if (aConst)
-                return internConst((ca * ca).mod(p));
-            return -1;
-          case Op::Neg:
-            if (aConst)
-                return internConst((-ca).mod(p));
-            return -1;
-          case Op::Dbl:
-            if (aConst)
-                return internConst((ca + ca).mod(p));
-            return -1;
-          case Op::Tpl:
-            if (aConst)
-                return internConst((ca + ca + ca).mod(p));
-            return -1;
-          case Op::Inv:
-            if (aConst)
-                return internConst(ca.isZero() ? BigInt()
-                                               : ca.invMod(p));
-            return -1;
-          case Op::Cvt:
-          case Op::Icv:
-          case Op::Nop:
+          default:
             return -1;
         }
+    }
+};
+
+/** gvn: global value numbering with commutativity canonicalization. */
+class GvnPass final : public RewritePass
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "gvn";
+        return n;
+    }
+
+  protected:
+    void beginSweep(Module &) override { vn_.clear(); }
+
+    i32
+    simplify(Inst &inst) override
+    {
+        VnKey key{inst.op, inst.a, inst.b};
+        if (inst.op == Op::Add || inst.op == Op::Mul) {
+            if (key.a > key.b)
+                std::swap(key.a, key.b);
+        }
+        auto it = vn_.find(key);
+        if (it != vn_.end())
+            return it->second;
+        vn_.emplace(key, inst.dst);
         return -1;
     }
 
-    Module &m_;
-    std::vector<i32> rep_;
-    std::unordered_map<i32, BigInt> constVal_;
-    std::map<BigInt, i32> constIds_;
+  private:
     std::unordered_map<VnKey, i32, VnKeyHash> vn_;
+};
+
+/**
+ * dce: backward liveness from the outputs; drops dead instructions and
+ * now-unreferenced constant-pool entries.
+ */
+class DcePass final : public Pass
+{
+  public:
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "dce";
+        return n;
+    }
+
+    bool isFrontend() const override { return true; }
+
+    bool
+    run(CompilationContext &ctx) override
+    {
+        Module &m = ctx.module();
+        std::vector<u8> live(static_cast<size_t>(m.numValues), 0);
+        for (i32 out : m.outputs)
+            live[static_cast<size_t>(out)] = 1;
+        std::vector<Inst> kept;
+        kept.reserve(m.body.size());
+        for (size_t i = m.body.size(); i-- > 0;) {
+            const Inst &inst = m.body[i];
+            if (!live[static_cast<size_t>(inst.dst)])
+                continue;
+            if (arity(inst.op) >= 1)
+                live[static_cast<size_t>(inst.a)] = 1;
+            if (arity(inst.op) >= 2)
+                live[static_cast<size_t>(inst.b)] = 1;
+            kept.push_back(inst);
+        }
+        std::reverse(kept.begin(), kept.end());
+
+        std::vector<ConstEntry> usedConsts;
+        for (const auto &c : m.constants) {
+            if (live[static_cast<size_t>(c.id)])
+                usedConsts.push_back(c);
+        }
+
+        const bool changed = kept.size() != m.body.size() ||
+                             usedConsts.size() != m.constants.size();
+        m.body = std::move(kept);
+        m.constants = std::move(usedConsts);
+        return changed;
+    }
 };
 
 } // namespace
 
+std::unique_ptr<Pass>
+makeFrontendPass(const std::string &name)
+{
+    if (name == "constfold")
+        return std::make_unique<ConstFoldPass>();
+    if (name == "zerooneprop")
+        return std::make_unique<ZeroOnePropPass>();
+    if (name == "strengthreduce")
+        return std::make_unique<StrengthReducePass>();
+    if (name == "gvn")
+        return std::make_unique<GvnPass>();
+    if (name == "dce")
+        return std::make_unique<DcePass>();
+    return nullptr;
+}
+
 OptStats
 optimizeModule(Module &m)
 {
-    OptStats stats;
-    stats.instrsBefore = m.body.size();
-    Optimizer opt(m);
-    for (int iter = 0; iter < 8; ++iter) {
-        ++stats.iterations;
-        if (!opt.runOnce())
-            break;
-    }
-    stats.instrsAfter = m.body.size();
-    m.verify();
-    return stats;
+    return runFrontendPipeline(m, frontendPassNames());
 }
 
 } // namespace finesse

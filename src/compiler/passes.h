@@ -10,21 +10,40 @@
  *    mul(a, a) -> SQR),
  *  - global value numbering using commutativity on finite fields,
  *  - dead code elimination.
- * Passes iterate to a fixpoint.
+ *
+ * Each optimization is a discrete Pass (see compiler/pipeline.h)
+ * registered in a PassManager; the front-end group iterates to a
+ * fixpoint. This header holds the per-pass and aggregate statistics
+ * (Table 7) plus the classic one-call entry point.
  */
 #ifndef FINESSE_COMPILER_PASSES_H_
 #define FINESSE_COMPILER_PASSES_H_
 
+#include <string>
+#include <vector>
+
 #include "ir/ir.h"
 
 namespace finesse {
+
+/** Per-pass accounting recorded by the PassManager. */
+struct PassStats
+{
+    std::string name;
+    int invocations = 0;       ///< times the pass ran (fixpoint sweeps)
+    i64 instrsRemoved = 0;     ///< total instruction delta across sweeps
+    double seconds = 0.0;      ///< wall time spent inside the pass
+    bool frontend = true;      ///< IROpt pass vs backend stage
+};
 
 /** Result counters for reporting (Table 7). */
 struct OptStats
 {
     size_t instrsBefore = 0;
     size_t instrsAfter = 0;
-    int iterations = 0;
+    int iterations = 0;        ///< front-end fixpoint sweeps
+    double seconds = 0.0;      ///< wall time across all passes
+    std::vector<PassStats> passes; ///< pipeline order, front end first
 
     double
     reductionPct() const
@@ -36,9 +55,45 @@ struct OptStats
                 static_cast<double>(instrsAfter)) /
                static_cast<double>(instrsBefore);
     }
+
+    /** Share of the input program removed by one named pass. */
+    double
+    passReductionPct(const std::string &name) const
+    {
+        const PassStats *ps = pass(name);
+        if (!ps || instrsBefore == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(ps->instrsRemoved) /
+               static_cast<double>(instrsBefore);
+    }
+
+    /** Stats entry for a named pass, nullptr when it never ran. */
+    const PassStats *
+    pass(const std::string &name) const
+    {
+        for (const PassStats &ps : passes) {
+            if (ps.name == name)
+                return &ps;
+        }
+        return nullptr;
+    }
+
+    /** Sum of per-pass instruction deltas (== before - after). */
+    i64
+    totalRemoved() const
+    {
+        i64 sum = 0;
+        for (const PassStats &ps : passes)
+            sum += ps.instrsRemoved;
+        return sum;
+    }
 };
 
-/** Run the full IROpt pipeline in place. */
+/**
+ * Run the full IROpt pipeline in place (ConstFold, ZeroOneProp,
+ * StrengthReduce, GVN, DCE iterated to a fixpoint). Equivalent to
+ * running the standard front-end PassManager of compiler/pipeline.h.
+ */
 OptStats optimizeModule(Module &m);
 
 } // namespace finesse

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Staged compilation pipeline: a CompilationContext shared by every
+ * stage and a PassManager that runs named Pass objects over it.
+ *
+ * The front end (IROpt) is five discrete passes -- constfold,
+ * zerooneprop, strengthreduce, gvn, dce -- that the manager iterates
+ * to a fixpoint as a group; the backend stages of the paper --
+ * bankalloc, packsched, regalloc, encode -- are passes over the same
+ * context, so any pipeline subset is composable (ablation studies,
+ * Table 7 per-pass attribution) and the DSE loop can rerun just the
+ * hardware-dependent tail against a cached front-end trace.
+ */
+#ifndef FINESSE_COMPILER_PIPELINE_H_
+#define FINESSE_COMPILER_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "compiler/passes.h"
+#include "isa/encode.h"
+
+namespace finesse {
+
+/**
+ * Everything one compilation owns, shared by all passes. The front-end
+ * passes rewrite prog.module; the backend stages fill in the bank,
+ * schedule, register and binary artifacts and flag what has been
+ * computed so later stages can validate their prerequisites.
+ */
+struct CompilationContext
+{
+    CompiledProgram prog;   ///< module + hw model + backend artifacts
+    EncodedProgram binary;  ///< ASM/Link output (encode pass)
+    OptStats stats;         ///< per-pass + aggregate accounting
+    bool listSchedule = true; ///< Algorithm 2 vs program order ("Init")
+
+    // Prerequisite flags maintained by the backend passes.
+    bool hasBanks = false;
+    bool hasSchedule = false;
+    bool hasRegs = false;
+    bool hasBinary = false;
+
+    Module &module() { return prog.module; }
+    const Module &module() const { return prog.module; }
+};
+
+/** One named compilation stage. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Front-end passes are iterated to a fixpoint as a group. */
+    virtual bool isFrontend() const = 0;
+
+    /** Run on the context; returns true when anything changed. */
+    virtual bool run(CompilationContext &ctx) = 0;
+};
+
+/**
+ * Ordered pass pipeline with per-pass instrumentation. Contiguous
+ * front-end passes form a group that is swept repeatedly (up to
+ * kMaxFixpointIters times) until no pass reports a change; backend
+ * passes run exactly once, in order. Each invocation records
+ * instruction deltas, sweep counts and wall time into
+ * CompilationContext::stats.
+ */
+class PassManager
+{
+  public:
+    static constexpr int kMaxFixpointIters = 8;
+
+    PassManager &add(std::unique_ptr<Pass> pass);
+    PassManager &add(const std::string &name); ///< by registry name
+
+    size_t size() const { return passes_.size(); }
+    std::vector<std::string> names() const;
+
+    void run(CompilationContext &ctx);
+
+    /** The five IROpt passes in canonical order. */
+    static PassManager standardFrontend();
+    /** The four backend stages in canonical order. */
+    static PassManager standardBackend();
+    /** Arbitrary pipeline; fatal() on an unknown pass name. */
+    static PassManager fromNames(const std::vector<std::string> &names);
+
+  private:
+    bool invoke(Pass &pass, CompilationContext &ctx);
+
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/** Canonical front-end pass names, pipeline order. */
+const std::vector<std::string> &frontendPassNames();
+/** Canonical backend stage names, pipeline order. */
+const std::vector<std::string> &backendPassNames();
+/** True if @p name is a registered front-end pass. */
+bool isFrontendPassName(const std::string &name);
+/** True if @p name is a registered backend stage. */
+bool isBackendPassName(const std::string &name);
+
+/** Construct a front-end pass by name (nullptr if unknown). */
+std::unique_ptr<Pass> makeFrontendPass(const std::string &name);
+/** Construct a backend stage by name (nullptr if unknown). */
+std::unique_ptr<Pass> makeBackendPass(const std::string &name);
+/** Construct any registered pass; fatal() on an unknown name. */
+std::unique_ptr<Pass> makePass(const std::string &name);
+
+/**
+ * Parse a comma-separated pass list ("constfold,gvn,dce"); validates
+ * every name against the registry. Empty input -> empty list (which
+ * callers treat as "the standard pipeline").
+ */
+std::vector<std::string> parsePassList(const std::string &csv);
+
+/**
+ * Run a front-end pipeline over @p m in place and return its stats
+ * (aggregate counters plus one PassStats per named pass). An empty
+ * @p names runs nothing but still fills the aggregate counters.
+ */
+OptStats runFrontendPipeline(Module &m,
+                             const std::vector<std::string> &names);
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_PIPELINE_H_

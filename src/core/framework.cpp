@@ -1,7 +1,8 @@
 /**
  * @file
  * Framework implementation: type-erased curve handles over the two
- * tower shapes, the compile pipeline driver, and functional validation.
+ * tower shapes, the PassManager-driven compile pipeline, the
+ * process-wide front-end trace cache, and functional validation.
  */
 #include "core/framework.h"
 
@@ -32,6 +33,114 @@ flattenPairInputs(const CurveSystem<TW> &sys,
     return in;
 }
 
+// ------------------------------------------------- front-end trace cache
+
+/** One cached front-end result: traced + optimized module and stats. */
+struct TraceCacheEntry
+{
+    Module module;
+    OptStats stats;
+};
+
+std::mutex g_traceMutex;
+std::map<std::string, TraceCacheEntry> &
+traceCache()
+{
+    static std::map<std::string, TraceCacheEntry> cache;
+    return cache;
+}
+size_t g_traceHits = 0;
+size_t g_traceMisses = 0;
+
+std::string
+traceCacheKey(const std::string &curve, const CompileOptions &opt)
+{
+    std::string key = curve;
+    key += '|';
+    key += std::to_string(static_cast<int>(opt.part));
+    key += '|';
+    for (const std::string &n : opt.frontendPasses()) {
+        key += n;
+        key += ',';
+    }
+    key += '|';
+    key += opt.variants.cacheKey();
+    return key;
+}
+
+/**
+ * Front end with caching: trace + IROpt exactly once per (curve,
+ * variants, part, pipeline) key, then clone the module for every
+ * caller. The lock is held across the trace so a key is never traced
+ * twice.
+ */
+Module
+cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
+               OptStats &statsOut)
+{
+    auto traceNow = [&] {
+        Module m = h.trace(opt.variants, opt.part, false, nullptr);
+        statsOut = runFrontendPipeline(m, opt.frontendPasses());
+        return m;
+    };
+    if (!opt.useTraceCache)
+        return traceNow();
+
+    const std::string key = traceCacheKey(h.info().def.name, opt);
+    std::lock_guard<std::mutex> lock(g_traceMutex);
+    auto it = traceCache().find(key);
+    if (it == traceCache().end()) {
+        ++g_traceMisses;
+        // Bound resident memory: cached modules are multi-MB, and a
+        // long-lived process sweeping many (curve, variants) keys
+        // must not grow without limit. 256 entries comfortably hold a
+        // full-variant-space sweep (96 combos) over a couple of
+        // curves; beyond that, evict an arbitrary entry (re-tracing
+        // is correct, just slower).
+        constexpr size_t kMaxEntries = 256;
+        if (traceCache().size() >= kMaxEntries)
+            traceCache().erase(traceCache().begin());
+        TraceCacheEntry entry;
+        entry.module = traceNow();
+        entry.stats = statsOut;
+        it = traceCache().emplace(key, std::move(entry)).first;
+    } else {
+        ++g_traceHits;
+        statsOut = it->second.stats;
+    }
+    return it->second.module; // clone
+}
+
+/**
+ * Drive the backend PassManager over a traced module and package the
+ * context as a CompileResult, merging the front-end stats in.
+ */
+CompileResult
+runBackendPipeline(Module module, const PipelineModel &hw,
+                   bool listSchedule,
+                   const std::vector<std::string> &backendPasses,
+                   const OptStats &frontendStats)
+{
+    const auto start = std::chrono::steady_clock::now();
+    CompilationContext ctx;
+    ctx.prog.module = std::move(module);
+    ctx.prog.hw = hw;
+    ctx.listSchedule = listSchedule;
+    ctx.stats = frontendStats;
+    PassManager::fromNames(backendPasses).run(ctx);
+
+    CompileResult result;
+    result.prog = std::move(ctx.prog);
+    result.binary = std::move(ctx.binary);
+    result.opt = std::move(ctx.stats);
+    result.compileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    result.prog.compileSeconds = result.compileSeconds;
+    return result;
+}
+
 template <typename TW, typename SymTW>
 class CurveHandleImpl : public ICurveHandle
 {
@@ -46,12 +155,9 @@ class CurveHandleImpl : public ICurveHandle
           OptStats *stats) const override
     {
         Module m = tracePairing<SymTW>(sys_, variants, part);
-        OptStats local;
-        if (optimize) {
-            local = optimizeModule(m);
-        } else {
-            local.instrsBefore = local.instrsAfter = m.size();
-        }
+        const OptStats local = runFrontendPipeline(
+            m, optimize ? frontendPassNames()
+                        : std::vector<std::string>{});
         if (stats)
             *stats = local;
         return m;
@@ -62,10 +168,10 @@ class CurveHandleImpl : public ICurveHandle
     {
         const auto start = std::chrono::steady_clock::now();
         OptStats stats;
-        Module m = trace(opt.variants, opt.part, opt.optimize, &stats);
-        CompileResult result =
-            runBackend(std::move(m), opt.hw, opt.listSchedule);
-        result.opt = stats;
+        Module m = cachedFrontend(*this, opt, stats);
+        CompileResult result = runBackendPipeline(
+            std::move(m), opt.hw, opt.listSchedule, opt.backendPasses(),
+            stats);
         result.compileSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start)
@@ -126,27 +232,36 @@ class CurveHandleImpl : public ICurveHandle
 
 } // namespace
 
-CompileResult
-runBackend(Module module, const PipelineModel &hw, bool listSchedule)
+TraceCacheStats
+traceCacheStats()
 {
-    const auto start = std::chrono::steady_clock::now();
-    CompileResult result;
-    result.prog.module = std::move(module);
-    result.opt.instrsBefore = result.opt.instrsAfter =
-        result.prog.module.size();
-    result.prog.hw = hw;
-    result.prog.banks = assignBanks(result.prog.module, hw);
-    result.prog.schedule = scheduleModule(
-        result.prog.module, result.prog.banks, hw, listSchedule);
-    result.prog.regs = allocateRegisters(
-        result.prog.module, result.prog.banks, result.prog.schedule);
-    result.binary = encodeProgram(result.prog);
-    result.compileSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    result.prog.compileSeconds = result.compileSeconds;
-    return result;
+    std::lock_guard<std::mutex> lock(g_traceMutex);
+    TraceCacheStats s;
+    s.hits = g_traceHits;
+    s.misses = g_traceMisses;
+    s.entries = traceCache().size();
+    return s;
+}
+
+void
+clearTraceCache()
+{
+    std::lock_guard<std::mutex> lock(g_traceMutex);
+    traceCache().clear();
+    g_traceHits = 0;
+    g_traceMisses = 0;
+}
+
+CompileResult
+runBackend(Module module, const PipelineModel &hw, bool listSchedule,
+           const std::vector<std::string> &backendPasses)
+{
+    OptStats stats;
+    stats.instrsBefore = stats.instrsAfter = module.size();
+    return runBackendPipeline(std::move(module), hw, listSchedule,
+                              backendPasses.empty() ? backendPassNames()
+                                                    : backendPasses,
+                              stats);
 }
 
 const ICurveHandle &

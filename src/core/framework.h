@@ -21,6 +21,7 @@
 
 #include "compiler/backend.h"
 #include "compiler/passes.h"
+#include "compiler/pipeline.h"
 #include "hwmodel/area.h"
 #include "isa/encode.h"
 #include "pairing/plan.h"
@@ -37,6 +38,71 @@ struct CompileOptions
     bool optimize = true;     ///< run IROpt passes
     bool listSchedule = true; ///< Algorithm 2 vs program order ("Init")
     TracePart part = TracePart::Full;
+
+    /**
+     * Explicit pass pipeline (see compiler/pipeline.h). Empty = the
+     * standard pipeline. Front-end names ablate IROpt (subject to
+     * `optimize`); when any backend name is present, exactly those
+     * backend stages run in the given order.
+     */
+    std::vector<std::string> passes;
+
+    /**
+     * Reuse the process-wide front-end trace cache keyed by (curve,
+     * variants, part, front-end pipeline): a traced + optimized module
+     * is computed once and cloned for each hardware point.
+     */
+    bool useTraceCache = true;
+
+    /**
+     * Front-end pass names implied by these options. Mirrors
+     * backendPasses(): a pass list naming no front-end passes keeps
+     * the standard IROpt pipeline (use `optimize = false` to disable
+     * the front end entirely).
+     */
+    std::vector<std::string>
+    frontendPasses() const
+    {
+        validatePasses();
+        if (!optimize)
+            return {};
+        std::vector<std::string> out;
+        for (const std::string &n : passes) {
+            if (isFrontendPassName(n))
+                out.push_back(n);
+        }
+        if (out.empty())
+            return frontendPassNames();
+        return out;
+    }
+
+    /** Backend stage names implied by these options. */
+    std::vector<std::string>
+    backendPasses() const
+    {
+        validatePasses();
+        std::vector<std::string> out;
+        for (const std::string &n : passes) {
+            if (isBackendPassName(n))
+                out.push_back(n);
+        }
+        if (out.empty())
+            return backendPassNames();
+        return out;
+    }
+
+    /**
+     * Reject unregistered pass names: a typo'd programmatic list
+     * must not silently fall back to the standard pipeline.
+     */
+    void
+    validatePasses() const
+    {
+        for (const std::string &n : passes) {
+            if (!isFrontendPassName(n) && !isBackendPassName(n))
+                makePass(n); // fatal() with the known-pass list
+        }
+    }
 };
 
 /** Everything produced by one compilation. */
@@ -95,11 +161,28 @@ const ICurveHandle &curveHandle(const std::string &name);
 
 /**
  * Back end only: BankAlloc + PackSched + RegAlloc + encode a traced
- * module for one hardware model. Lets DSE sweeps reuse one front-end
- * trace across many hardware configurations.
+ * module for one hardware model, driven through the backend
+ * PassManager. Lets DSE sweeps reuse one front-end trace across many
+ * hardware configurations. A non-empty @p backendPasses selects a
+ * subset/order of the backend stages.
  */
 CompileResult runBackend(Module module, const PipelineModel &hw,
-                         bool listSchedule = true);
+                         bool listSchedule = true,
+                         const std::vector<std::string> &backendPasses = {});
+
+/** Hit/miss counters of the process-wide front-end trace cache. */
+struct TraceCacheStats
+{
+    size_t hits = 0;
+    size_t misses = 0;  ///< == number of front-end traces performed
+    size_t entries = 0; ///< resident cached modules
+};
+
+/** Snapshot the trace-cache counters. */
+TraceCacheStats traceCacheStats();
+
+/** Drop all cached traces and reset the counters (tests/benches). */
+void clearTraceCache();
 
 /** The user-facing framework facade. */
 class Framework
@@ -135,7 +218,6 @@ class Framework
     AreaReport
     area(const CompileResult &result, int cores = 1) const
     {
-        AreaModel model;
         DesignPoint dp;
         dp.fpBits = info().logP();
         dp.longDepth = result.prog.hw.longLat;

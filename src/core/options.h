@@ -8,6 +8,10 @@
  *   optimize              bool, run IROpt (default true)
  *   schedule              bool, list scheduling (default true)
  *   part                  full | miller | finalexp
+ *   passes                comma-separated pass pipeline (ablation);
+ *                         empty = standard (see compiler/pipeline.h)
+ *   trace_cache           bool, reuse cached front-end traces (default
+ *                         true)
  *   hw.long_lat, hw.short_lat, hw.inv_lat        itineraries
  *   hw.issue_width, hw.lin_units, hw.banks       datapath shape
  *   hw.fifo, hw.fifo_depth, hw.beta              write-back / affinity
@@ -37,6 +41,8 @@ optionsFromConfig(const Config &cfg)
     CompileOptions opt;
     opt.optimize = cfg.getBool("optimize", true);
     opt.listSchedule = cfg.getBool("schedule", true);
+    opt.passes = parsePassList(cfg.getString("passes", ""));
+    opt.useTraceCache = cfg.getBool("trace_cache", true);
 
     const std::string part = cfg.getString("part", "full");
     if (part == "miller")

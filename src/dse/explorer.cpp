@@ -16,6 +16,7 @@ fillMetrics(DsePoint &p, const Framework &fw, const CompileResult &res,
     p.mulInstrs = res.prog.module.countUnit(UnitClass::Mul);
     p.linInstrs = res.prog.module.countUnit(UnitClass::Linear);
     p.compileSeconds = res.compileSeconds;
+    p.opt = res.opt;
 
     const CycleStats sim = simulateCycles(res.prog);
     p.cycles = sim.totalCycles;
@@ -172,12 +173,20 @@ DsePoint
 Explorer::exploreVariants(const PipelineModel &hw, Objective objective,
                           bool mulOnly) const
 {
+    CompileOptions base;
+    base.hw = hw;
+    return exploreVariants(base, objective, mulOnly);
+}
+
+DsePoint
+Explorer::exploreVariants(const CompileOptions &base, Objective objective,
+                          bool mulOnly) const
+{
     DsePoint best;
     bool first = true;
     for (const VariantConfig &cfg : variantSpace(mulOnly)) {
-        CompileOptions opt;
+        CompileOptions opt = base;
         opt.variants = cfg;
-        opt.hw = hw;
         const DsePoint p = evaluate(opt, 1, "explored");
         if (first || score(p, objective) > score(best, objective)) {
             best = p;

@@ -44,6 +44,9 @@ struct DsePoint
     double thptPerArea = 0;    ///< ops / s / mm^2
 
     double compileSeconds = 0;
+
+    // Per-pass compiler attribution (Table 7 per-optimization rows).
+    OptStats opt;
 };
 
 /** Objective helpers for exploration. */
@@ -59,7 +62,11 @@ class Explorer
 
     const Framework &framework() const { return fw_; }
 
-    /** Compile + simulate + model one design point. */
+    /**
+     * Compile + simulate + model one design point. Compilation goes
+     * through the process-wide front-end trace cache, so a sweep that
+     * varies only the hardware model re-runs just the backend stages.
+     */
     DsePoint evaluate(const CompileOptions &opt, int cores,
                       const std::string &label) const;
 
@@ -90,6 +97,15 @@ class Explorer
      * inner loop).
      */
     DsePoint exploreVariants(const PipelineModel &hw, Objective objective,
+                             bool mulOnly = true) const;
+
+    /**
+     * As above, but every evaluated point inherits @p base (pass
+     * pipeline, trace-cache flag, part, ...); only the variants are
+     * swept.
+     */
+    DsePoint exploreVariants(const CompileOptions &base,
+                             Objective objective,
                              bool mulOnly = true) const;
 
     /** Tower extension degrees of this curve (e.g. {2, 6, 12}). */

@@ -37,6 +37,41 @@ enum class CoordSystem {
     Projective, ///< homogeneous (X/Z, Y/Z)
 };
 
+/** Human-readable variant names (for DSE reports and cache keys). */
+inline const char *
+toString(MulVariant v)
+{
+    switch (v) {
+      case MulVariant::Schoolbook:
+        return "schoolbook";
+      case MulVariant::Karatsuba:
+        return "karatsuba";
+    }
+    return "?";
+}
+
+inline const char *
+toString(SqrVariant v)
+{
+    switch (v) {
+      case SqrVariant::Schoolbook:
+        return "schoolbook";
+      case SqrVariant::Complex:
+        return "complex";
+      case SqrVariant::CHSqr2:
+        return "ch-sqr2";
+      case SqrVariant::CHSqr3:
+        return "ch-sqr3";
+    }
+    return "?";
+}
+
+inline const char *
+toString(CoordSystem c)
+{
+    return c == CoordSystem::Jacobian ? "jacobian" : "projective";
+}
+
 /** Variant choice for one tower level. */
 struct LevelVariants
 {
@@ -71,6 +106,28 @@ struct VariantConfig
         return lv;
     }
 
+    /**
+     * Stable string key for caching/reporting: every level choice plus
+     * the coordinate-system and cyclotomic flags. Two configs with the
+     * same key trace to identical modules on any given curve.
+     */
+    std::string
+    cacheKey() const
+    {
+        std::string s;
+        for (const auto &[d, lv] : levels) {
+            s += std::to_string(d);
+            s += ':';
+            s += toString(lv.mul);
+            s += '/';
+            s += toString(lv.sqr);
+            s += ';';
+        }
+        s += g2Coords == CoordSystem::Jacobian ? "jac" : "proj";
+        s += cyclotomicSqr ? "+cyclo" : "-cyclo";
+        return s;
+    }
+
     /** All-Karatsuba configuration for the given tower degrees. */
     static VariantConfig
     allKaratsuba(std::initializer_list<int> degrees)
@@ -91,41 +148,6 @@ struct VariantConfig
         return cfg;
     }
 };
-
-/** Human-readable variant names (for DSE reports). */
-inline const char *
-toString(MulVariant v)
-{
-    switch (v) {
-      case MulVariant::Schoolbook:
-        return "schoolbook";
-      case MulVariant::Karatsuba:
-        return "karatsuba";
-    }
-    return "?";
-}
-
-inline const char *
-toString(SqrVariant v)
-{
-    switch (v) {
-      case SqrVariant::Schoolbook:
-        return "schoolbook";
-      case SqrVariant::Complex:
-        return "complex";
-      case SqrVariant::CHSqr2:
-        return "ch-sqr2";
-      case SqrVariant::CHSqr3:
-        return "ch-sqr3";
-    }
-    return "?";
-}
-
-inline const char *
-toString(CoordSystem c)
-{
-    return c == CoordSystem::Jacobian ? "jacobian" : "projective";
-}
 
 } // namespace finesse
 

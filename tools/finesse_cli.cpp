@@ -4,7 +4,7 @@
  * "modular invocation with command-line parameters").
  *
  * Usage:
- *   finesse_cli <command> [config-file]
+ *   finesse_cli <command> [config-file] [flags]
  * Commands:
  *   compile    trace + optimize + schedule + encode; print statistics
  *   validate   compile, then cross-validate on the functional simulator
@@ -16,6 +16,13 @@
  *                finesse_cli deploy <config> <image-file>
  *   exec       execute a saved image on hex inputs:
  *                finesse_cli exec <image-file> 0x12 0x34 ...
+ * Flags:
+ *   --passes=<list>   comma-separated pass pipeline (pipeline ablation):
+ *                     front-end subset of constfold,zerooneprop,
+ *                     strengthreduce,gvn,dce and/or backend subset of
+ *                     bankalloc,packsched,regalloc,encode
+ *   --pass-stats      print the per-pass instruction/time attribution
+ *   --no-trace-cache  disable the front-end trace cache
  * The config file uses `key = value` lines (see core/options.h); when
  * omitted, defaults (BN254N, paper hardware model) apply.
  */
@@ -37,9 +44,42 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: finesse_cli "
-                 "{compile|validate|simulate|area|dse|disasm} "
-                 "[config-file]\n");
+                 "{compile|validate|simulate|area|dse|disasm|deploy|exec} "
+                 "[config-file] [--passes=<list>] [--pass-stats] "
+                 "[--no-trace-cache]\n");
     return 2;
+}
+
+/** Per-pass attribution table (instr deltas sum to the aggregate). */
+void
+printPassStats(const OptStats &opt)
+{
+    std::printf("%-16s %6s %12s %10s %10s\n", "pass", "runs",
+                "instr delta", "share", "seconds");
+    i64 sum = 0;
+    double seconds = 0.0;
+    for (const PassStats &ps : opt.passes) {
+        sum += ps.instrsRemoved;
+        seconds += ps.seconds;
+        const double share =
+            opt.instrsBefore
+                ? 100.0 * double(ps.instrsRemoved) /
+                      double(opt.instrsBefore)
+                : 0.0;
+        std::printf("%-16s %6d %12lld %9.2f%% %10.3f\n",
+                    ps.name.c_str(), ps.invocations,
+                    static_cast<long long>(ps.instrsRemoved), share,
+                    ps.seconds);
+    }
+    std::printf("%-16s %6s %12lld %9.2f%% %10.3f\n", "total", "",
+                static_cast<long long>(sum),
+                opt.reductionPct(), seconds);
+    std::printf("aggregate: %zu -> %zu instrs in %d fixpoint sweeps "
+                "(per-pass deltas sum to %lld, aggregate delta %lld)\n",
+                opt.instrsBefore, opt.instrsAfter, opt.iterations,
+                static_cast<long long>(sum),
+                static_cast<long long>(opt.instrsBefore) -
+                    static_cast<long long>(opt.instrsAfter));
 }
 
 } // namespace
@@ -47,15 +87,35 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::vector<std::string> positional;
+    bool passStats = false;
+    bool noTraceCache = false;
+    std::string passList;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--pass-stats") {
+            passStats = true;
+        } else if (arg == "--no-trace-cache") {
+            noTraceCache = true;
+        } else if (arg.rfind("--passes=", 0) == 0) {
+            passList = arg.substr(9);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.empty())
         return usage();
-    const std::string command = argv[1];
+    const std::string command = positional[0];
 
     Config cfg;
-    if (argc > 2) {
-        std::ifstream in(argv[2]);
+    if (positional.size() > 1 && command != "exec") {
+        std::ifstream in(positional[1]);
         if (!in) {
-            std::fprintf(stderr, "cannot open config: %s\n", argv[2]);
+            std::fprintf(stderr, "cannot open config: %s\n",
+                         positional[1].c_str());
             return 1;
         }
         std::ostringstream text;
@@ -65,13 +125,14 @@ main(int argc, char **argv)
 
     try {
         if (command == "exec") {
-            if (argc < 3)
+            if (positional.size() < 2)
                 return usage();
             BigInt p;
-            const EncodedProgram prog = loadProgramFile(argv[2], p);
+            const EncodedProgram prog =
+                loadProgramFile(positional[1], p);
             std::vector<BigInt> inputs;
-            for (int i = 3; i < argc; ++i)
-                inputs.push_back(BigInt::fromString(argv[i]));
+            for (size_t i = 2; i < positional.size(); ++i)
+                inputs.push_back(BigInt::fromString(positional[i]));
             FpCtx fp(p);
             const auto out = runEncoded(prog, fp, inputs);
             for (const BigInt &v : out)
@@ -80,19 +141,27 @@ main(int argc, char **argv)
         }
 
         const std::string curve = curveFromConfig(cfg);
-        const CompileOptions opt = optionsFromConfig(cfg);
+        CompileOptions opt = optionsFromConfig(cfg);
+        if (!passList.empty())
+            opt.passes = parsePassList(passList);
+        if (noTraceCache)
+            opt.useTraceCache = false;
         Framework fw(curve);
         std::printf("curve %s | hw %s\n", curve.c_str(),
                     opt.hw.describe().c_str());
 
         if (command == "dse") {
             Explorer ex(curve);
+            // The sweep inherits the configured pipeline/cache options;
+            // only the operator variants are explored.
             const DsePoint best =
-                ex.exploreVariants(opt.hw, Objective::MinCycles, true);
+                ex.exploreVariants(opt, Objective::MinCycles, true);
             std::printf("best combo: %lld cycles, IPC %.2f, %.2f mm^2, "
                         "%.1f us\n",
                         static_cast<long long>(best.cycles), best.ipc,
                         best.areaMm2, best.latencyUs);
+            if (passStats)
+                printPassStats(best.opt);
             for (int d : ex.towerDegrees()) {
                 std::printf("  level %-2d mul=%s\n", d,
                             toString(best.variants.level(d).mul));
@@ -105,6 +174,8 @@ main(int argc, char **argv)
                     "%.2f s\n",
                     res.instrs(), res.opt.reductionPct(),
                     res.binary.numBundles, res.compileSeconds);
+        if (passStats)
+            printPassStats(res.opt);
 
         if (command == "compile") {
             return 0;
@@ -140,12 +211,12 @@ main(int argc, char **argv)
             std::printf("%s", res.binary.disassemble(24).c_str());
             return 0;
         } else if (command == "deploy") {
-            if (argc < 4)
+            if (positional.size() < 3)
                 return usage();
-            saveProgramFile(argv[3], res.binary, fw.info().p);
+            saveProgramFile(positional[2], res.binary, fw.info().p);
             std::printf("program image written to %s (%zu words, "
                         "%zu constants)\n",
-                        argv[3], res.binary.words.size(),
+                        positional[2].c_str(), res.binary.words.size(),
                         res.binary.constPool.size());
             return 0;
         }
