@@ -6,15 +6,39 @@
  * Optimal (exhaustive search over the multiplication-variant space).
  * Columns: the five pipeline configurations of the paper.
  *
- * Front-end traces are hardware-independent, so every (variants,
- * pipeline) cell compiles through the process-wide trace cache: one
- * CodeGen + IROpt run per variant combination, backend-only
+ * The sweep is embarrassingly parallel -- every (variants, pipeline)
+ * cell is an independent compile + simulate + area evaluation -- so it
+ * runs twice through Explorer::evaluateAll: once serial (--jobs 1) and
+ * once on all hardware threads. Both sweeps must produce identical
+ * cycle counts (the determinism contract of the parallel engine); the
+ * wall-clock ratio and the trace-cache miss/hit/coalesce counters are
+ * reported and written to BENCH_dse.json for trend tracking.
+ *
+ * Front-end traces are hardware-independent, so every cell compiles
+ * through the process-wide sharded trace cache: one CodeGen + IROpt
+ * run per variant combination (concurrent requests for the same
+ * combination coalesce onto a single trace), backend-only
  * recompilation for every additional pipeline model.
  */
+#include <chrono>
+
 #include "bench_common.h"
 #include "dse/explorer.h"
+#include "support/threadpool.h"
 
 using namespace finesse;
+
+namespace {
+
+double
+wallSeconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 int
 main()
@@ -24,16 +48,7 @@ main()
     Explorer ex(curve);
     std::printf("curve: %s (cycle counts, x1000)\n\n", curve);
 
-    clearTraceCache();
     const std::vector<PipelineModel> models = fig10HardwareModels();
-
-    auto evalPoint = [&](const VariantConfig &cfg, const PipelineModel &hw,
-                         const std::string &label) {
-        CompileOptions opt;
-        opt.variants = cfg;
-        opt.hw = hw;
-        return ex.evaluate(opt, 1, label);
-    };
 
     struct Row
     {
@@ -45,6 +60,55 @@ main()
         {"All sch.", ex.allSchoolbook()},
         {"All karat.", ex.allKaratsuba()},
     };
+    const auto space = ex.variantSpace(true);
+
+    // One flat request list: the three preset rows plus the full
+    // mul-variant space for the "Optimal" search, each against every
+    // pipeline model. Ordered model-major (all variant combos for
+    // model 0, then model 1, ...) so ADJACENT requests carry DISTINCT
+    // trace keys: the workers' dynamic schedule then traces different
+    // keys concurrently instead of piling onto one in-flight trace.
+    std::vector<VariantConfig> cfgs;
+    for (const Row &row : rows)
+        cfgs.push_back(row.cfg);
+    cfgs.insert(cfgs.end(), space.begin(), space.end());
+
+    std::vector<DseRequest> reqs;
+    for (const PipelineModel &hw : models) {
+        for (size_t c = 0; c < cfgs.size(); ++c) {
+            DseRequest req;
+            req.opt.variants = cfgs[c];
+            req.opt.hw = hw;
+            req.label = c < rows.size() ? rows[c].name : "probe";
+            reqs.push_back(std::move(req));
+        }
+    }
+
+    // Serial reference sweep, then the parallel sweep on all hardware
+    // threads. Both start from a cold cache so the trace work is
+    // comparable; the parallel pass exercises shard contention and
+    // in-flight coalescing (models.size() workers can race for the
+    // same variant trace).
+    clearTraceCache();
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::vector<DsePoint> serial = ex.evaluateAll(reqs, 1);
+    const double serialSeconds = wallSeconds(t1);
+    const TraceCacheStats serialCache = traceCacheStats();
+
+    const int jobs = resolveJobs(0);
+    clearTraceCache();
+    const auto t2 = std::chrono::steady_clock::now();
+    const std::vector<DsePoint> points = ex.evaluateAll(reqs, jobs);
+    const double parallelSeconds = wallSeconds(t2);
+    const TraceCacheStats cache = traceCacheStats();
+
+    // Determinism contract: the parallel sweep is bit-identical.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].cycles != serial[i].cycles ||
+            points[i].instrs != serial[i].instrs)
+            ++mismatches;
+    }
 
     TextTable t;
     std::vector<std::string> header = {"Variant combo"};
@@ -52,24 +116,25 @@ main()
         header.push_back(m.describe());
     t.header(header);
 
-    for (const Row &row : rows) {
-        std::vector<std::string> cells = {row.name};
-        for (const PipelineModel &hw : models) {
-            const DsePoint p = evalPoint(row.cfg, hw, row.name);
-            cells.push_back(fmt(double(p.cycles) / 1e3, 1));
-        }
+    auto cell = [&](size_t cfgIdx, size_t model) -> const DsePoint & {
+        return points[model * cfgs.size() + cfgIdx];
+    };
+    for (size_t r = 0; r < rows.size(); ++r) {
+        std::vector<std::string> cells = {rows[r].name};
+        for (size_t m = 0; m < models.size(); ++m)
+            cells.push_back(fmt(double(cell(r, m).cycles) / 1e3, 1));
         t.row(cells);
     }
 
-    // Optimal: exhaustive over the mul-variant space per hw model.
-    const auto space = ex.variantSpace(true);
+    // Optimal: exhaustive over the mul-variant space per hw model
+    // (index-ordered scan => same winner as the serial sweep).
     std::vector<std::string> optCells = {"Optimal"};
     std::vector<std::string> optWhich = {"(combo)"};
-    for (const PipelineModel &hw : models) {
+    for (size_t m = 0; m < models.size(); ++m) {
         i64 best = -1;
         size_t bestIdx = 0;
         for (size_t i = 0; i < space.size(); ++i) {
-            const DsePoint p = evalPoint(space[i], hw, "probe");
+            const DsePoint &p = cell(rows.size() + i, m);
             if (best < 0 || p.cycles < best) {
                 best = p.cycles;
                 bestIdx = i;
@@ -88,15 +153,36 @@ main()
     t.row(optWhich);
     t.print();
 
-    const TraceCacheStats cache = traceCacheStats();
+    const double speedup =
+        parallelSeconds > 0 ? serialSeconds / parallelSeconds : 0.0;
     std::printf(
         "\n(combo) row: chosen mul variant per tower level, lowest "
         "degree first (K = Karatsuba, S = Schoolbook).\n"
         "Shape checks (paper): Manual beats All-karat. on the "
         "single-issue models and is near optimal; with more linear "
         "units All-karat. becomes viable again.\n"
-        "Trace cache: %zu front-end traces, %zu backend-only reuses "
-        "(%zu compilations total).\n",
-        cache.misses, cache.hits, cache.misses + cache.hits);
-    return 0;
+        "Trace cache: %zu front-end traces, %zu backend-only reuses, "
+        "%zu coalesced waits (%zu compilations total).\n"
+        "Sweep: %zu points | serial %.2f s | parallel %.2f s on %d "
+        "workers | speedup %.2fx | %zu determinism mismatches\n",
+        cache.misses, cache.hits, cache.coalesced,
+        cache.misses + cache.hits + cache.coalesced, points.size(),
+        serialSeconds, parallelSeconds, jobs, speedup, mismatches);
+
+    BenchJson json;
+    json.str("bench", "fig10_dse")
+        .str("curve", curve)
+        .count("points", points.size())
+        .count("jobs", static_cast<size_t>(jobs))
+        .num("serial_seconds", serialSeconds)
+        .num("parallel_seconds", parallelSeconds)
+        .num("speedup", speedup)
+        .count("trace_misses", cache.misses)
+        .count("trace_hits", cache.hits)
+        .count("trace_coalesced", cache.coalesced)
+        .count("serial_trace_misses", serialCache.misses)
+        .count("determinism_mismatches", mismatches);
+    json.write("BENCH_dse.json");
+
+    return mismatches == 0 ? 0 : 1;
 }

@@ -6,6 +6,7 @@
  */
 #include "bench_common.h"
 #include "curve/catalog.h"
+#include "support/threadpool.h"
 
 using namespace finesse;
 
@@ -16,8 +17,17 @@ main()
     TextTable t;
     t.header({"Curve", "log|t|", "log p", "log r", "k", "k*log p",
               "Security(bit)"});
-    for (const CurveDef &def : curveCatalog()) {
-        const CurveInfo info = deriveCurveInfo(def);
+    // Parameter derivation runs primality tests on multi-hundred-bit
+    // candidates; the curves are independent, so derive them on the
+    // pool and print in catalog order.
+    const std::vector<CurveDef> &defs = curveCatalog();
+    std::vector<CurveInfo> infos(defs.size());
+    parallelFor(defs.size(), 0, [&](size_t i) {
+        infos[i] = deriveCurveInfo(defs[i]);
+    });
+    for (size_t i = 0; i < defs.size(); ++i) {
+        const CurveDef &def = defs[i];
+        const CurveInfo &info = infos[i];
         t.row({def.name, std::to_string(def.x.abs().bitLength()),
                std::to_string(info.logP()), std::to_string(info.logR()),
                std::to_string(info.k), std::to_string(info.kLogP()),

@@ -43,6 +43,7 @@ scheduleModule(const Module &m, const BankAssignment &banks,
         // "Init" baseline: program order, single instruction per
         // bundle, in-order issue with interlock stalls.
         PortTracker ports(hw);
+        sched.bundles.reserve(n);
         i64 cycle = 0;
         for (size_t i = 0; i < n; ++i) {
             const Inst &inst = m.body[i];
@@ -68,8 +69,23 @@ scheduleModule(const Module &m, const BankAssignment &banks,
     }
 
     // ---- Algorithm 2: affinity list scheduling with greedy packing ----
+    // Use counts first, so every users[] vector is sized in one
+    // allocation instead of growing geometrically (this loop runs for
+    // every backend compile of a sweep).
     std::vector<int> deps(n, 0);
+    std::vector<u32> useCount(m.numValues, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const Inst &inst = m.body[i];
+        if (arity(inst.op) >= 1 && defInst[inst.a] >= 0)
+            ++useCount[inst.a];
+        if (arity(inst.op) >= 2 && defInst[inst.b] >= 0)
+            ++useCount[inst.b];
+    }
     std::vector<std::vector<i32>> users(m.numValues);
+    for (i32 v = 0; v < m.numValues; ++v) {
+        if (useCount[v] > 0)
+            users[v].reserve(useCount[v]);
+    }
     for (size_t i = 0; i < n; ++i) {
         const Inst &inst = m.body[i];
         if (arity(inst.op) >= 1 && defInst[inst.a] >= 0) {
@@ -116,6 +132,11 @@ scheduleModule(const Module &m, const BankAssignment &banks,
 
     PortTracker ports(hw);
     std::vector<i32> ready;
+    std::vector<i32> leftover; // reused across cycles (no realloc)
+    ready.reserve(64);
+    leftover.reserve(64);
+    sched.bundles.reserve(
+        n / static_cast<size_t>(std::max(hw.issueWidth, 1)) + 1);
     size_t remaining = n;
     i64 cycle = 0;
 
@@ -144,7 +165,7 @@ scheduleModule(const Module &m, const BankAssignment &banks,
 
         // Greedy constraint-checked packing (solveMaxValidInstrPack).
         Bundle bundle;
-        std::vector<i32> leftover;
+        leftover.clear();
         for (i32 idx : ready) {
             bool issuedHere = false;
             if (static_cast<int>(bundle.instIdx.size()) < hw.issueWidth) {
@@ -167,7 +188,7 @@ scheduleModule(const Module &m, const BankAssignment &banks,
             if (!issuedHere)
                 leftover.push_back(idx);
         }
-        ready = std::move(leftover);
+        ready.swap(leftover);
         if (!bundle.instIdx.empty())
             sched.bundles.push_back(std::move(bundle));
         ++cycle;

@@ -6,8 +6,13 @@
  */
 #include "core/framework.h"
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "compiler/codegen.h"
@@ -34,6 +39,12 @@ flattenPairInputs(const CurveSystem<TW> &sys,
 }
 
 // ------------------------------------------------- front-end trace cache
+//
+// Sharded by key hash so parallel sweep workers on distinct keys take
+// distinct locks, with in-flight coalescing so N workers asking for
+// the same key trace it once: the first caller publishes a slot,
+// traces OUTSIDE the shard lock, then fills the slot and wakes the
+// waiters.
 
 /** One cached front-end result: traced + optimized module and stats. */
 struct TraceCacheEntry
@@ -42,15 +53,49 @@ struct TraceCacheEntry
     OptStats stats;
 };
 
-std::mutex g_traceMutex;
-std::map<std::string, TraceCacheEntry> &
-traceCache()
+/**
+ * Shared state of one cache entry, ready or in flight. Waiters hold a
+ * shared_ptr, so eviction or clearTraceCache() can drop the shard's
+ * reference while a trace is still being produced or consumed.
+ */
+struct TraceSlot
 {
-    static std::map<std::string, TraceCacheEntry> cache;
-    return cache;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool ready = false;
+    std::exception_ptr error; ///< set instead of `ready` on failure
+    TraceCacheEntry entry;
+};
+
+struct TraceShard
+{
+    std::mutex mutex;
+    std::map<std::string, std::shared_ptr<TraceSlot>> slots;
+};
+
+constexpr size_t kNumTraceShards = 16;
+// Bound resident memory: cached modules are multi-MB, and a
+// long-lived process sweeping many (curve, variants) keys must not
+// grow without limit. The bound is GLOBAL (not per shard, which would
+// evict mid-sweep under hash skew and break the one-trace-per-key
+// invariant): 256 entries comfortably hold a full-variant-space sweep
+// (96 combos) over a couple of curves. Past the bound, each miss
+// evicts an arbitrary ready entry (see evictOverCapacity); re-tracing
+// an evicted key is correct, just slower.
+constexpr size_t kMaxTraceEntries = 256;
+std::atomic<size_t> g_traceCapacity{kMaxTraceEntries};
+
+std::array<TraceShard, kNumTraceShards> &
+traceShards()
+{
+    static std::array<TraceShard, kNumTraceShards> shards;
+    return shards;
 }
-size_t g_traceHits = 0;
-size_t g_traceMisses = 0;
+
+std::atomic<size_t> g_traceHits{0};
+std::atomic<size_t> g_traceMisses{0};
+std::atomic<size_t> g_traceCoalesced{0};
+std::atomic<size_t> g_traceEntries{0}; ///< slots across all shards
 
 std::string
 traceCacheKey(const std::string &curve, const CompileOptions &opt)
@@ -69,10 +114,57 @@ traceCacheKey(const std::string &curve, const CompileOptions &opt)
 }
 
 /**
+ * Enforce the global entry bound: while over capacity, scan the
+ * shards in index order and drop the first READY entry found.
+ * In-flight slots are never evicted (their producers still hold a
+ * reference and expect to publish the result to their waiters), so
+ * the bound is soft while traces are outstanding; a scan that finds
+ * nothing evictable stops rather than spinning. Only one shard lock
+ * is held at a time, so this cannot deadlock against other shard
+ * users or clearTraceCache()'s ordered multi-lock.
+ */
+void
+evictOverCapacity()
+{
+    while (g_traceEntries.load(std::memory_order_relaxed) >
+           g_traceCapacity.load(std::memory_order_relaxed)) {
+        bool evicted = false;
+        for (TraceShard &shard : traceShards()) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (auto ev = shard.slots.begin();
+                 ev != shard.slots.end(); ++ev) {
+                // Keep the slot alive past the erase: the map may
+                // hold the last reference, and erasing while its
+                // mutex is locked would destroy a locked mutex.
+                std::shared_ptr<TraceSlot> victim = ev->second;
+                bool evictable = false;
+                {
+                    std::lock_guard<std::mutex> sl(victim->mutex);
+                    evictable = victim->ready;
+                }
+                if (evictable) {
+                    shard.slots.erase(ev);
+                    g_traceEntries.fetch_sub(1,
+                                             std::memory_order_relaxed);
+                    evicted = true;
+                    break;
+                }
+            }
+            if (evicted)
+                break;
+        }
+        if (!evicted)
+            return; // everything resident is in flight
+    }
+}
+
+/**
  * Front end with caching: trace + IROpt exactly once per (curve,
  * variants, part, pipeline) key, then clone the module for every
- * caller. The lock is held across the trace so a key is never traced
- * twice.
+ * caller. A missing key is traced with only the slot published (the
+ * shard lock is NOT held across the trace), so concurrent requests
+ * for other keys proceed and concurrent requests for the same key
+ * coalesce onto the in-flight slot.
  */
 Module
 cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
@@ -87,28 +179,67 @@ cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
         return traceNow();
 
     const std::string key = traceCacheKey(h.info().def.name, opt);
-    std::lock_guard<std::mutex> lock(g_traceMutex);
-    auto it = traceCache().find(key);
-    if (it == traceCache().end()) {
-        ++g_traceMisses;
-        // Bound resident memory: cached modules are multi-MB, and a
-        // long-lived process sweeping many (curve, variants) keys
-        // must not grow without limit. 256 entries comfortably hold a
-        // full-variant-space sweep (96 combos) over a couple of
-        // curves; beyond that, evict an arbitrary entry (re-tracing
-        // is correct, just slower).
-        constexpr size_t kMaxEntries = 256;
-        if (traceCache().size() >= kMaxEntries)
-            traceCache().erase(traceCache().begin());
-        TraceCacheEntry entry;
-        entry.module = traceNow();
-        entry.stats = statsOut;
-        it = traceCache().emplace(key, std::move(entry)).first;
-    } else {
-        ++g_traceHits;
-        statsOut = it->second.stats;
+    TraceShard &shard =
+        traceShards()[std::hash<std::string>{}(key) % kNumTraceShards];
+
+    std::shared_ptr<TraceSlot> slot;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.slots.find(key);
+        if (it == shard.slots.end()) {
+            slot = std::make_shared<TraceSlot>();
+            shard.slots.emplace(key, slot);
+            g_traceEntries.fetch_add(1, std::memory_order_relaxed);
+            owner = true;
+            g_traceMisses.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            slot = it->second;
+        }
     }
-    return it->second.module; // clone
+
+    if (owner)
+        evictOverCapacity();
+
+    if (owner) {
+        try {
+            TraceCacheEntry entry;
+            entry.module = traceNow();
+            entry.stats = statsOut;
+            std::lock_guard<std::mutex> sl(slot->mutex);
+            slot->entry = std::move(entry);
+            slot->ready = true;
+            slot->cv.notify_all();
+            return slot->entry.module; // clone
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> sl(slot->mutex);
+                slot->error = std::current_exception();
+                slot->cv.notify_all();
+            }
+            // Unpublish so a later caller retries instead of
+            // rereading a poisoned slot forever.
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.slots.find(key);
+            if (it != shard.slots.end() && it->second == slot) {
+                shard.slots.erase(it);
+                g_traceEntries.fetch_sub(1, std::memory_order_relaxed);
+            }
+            throw;
+        }
+    }
+
+    std::unique_lock<std::mutex> sl(slot->mutex);
+    if (!slot->ready && !slot->error) {
+        g_traceCoalesced.fetch_add(1, std::memory_order_relaxed);
+        slot->cv.wait(sl, [&] { return slot->ready || slot->error; });
+    } else {
+        g_traceHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (slot->error)
+        std::rethrow_exception(slot->error);
+    statsOut = slot->entry.stats;
+    return slot->entry.module; // clone
 }
 
 /**
@@ -232,24 +363,49 @@ class CurveHandleImpl : public ICurveHandle
 
 } // namespace
 
+size_t
+setTraceCacheCapacityForTesting(size_t capacity)
+{
+    return g_traceCapacity.exchange(
+        capacity == 0 ? kMaxTraceEntries : capacity,
+        std::memory_order_relaxed);
+}
+
 TraceCacheStats
 traceCacheStats()
 {
-    std::lock_guard<std::mutex> lock(g_traceMutex);
     TraceCacheStats s;
-    s.hits = g_traceHits;
-    s.misses = g_traceMisses;
-    s.entries = traceCache().size();
+    s.hits = g_traceHits.load(std::memory_order_relaxed);
+    s.misses = g_traceMisses.load(std::memory_order_relaxed);
+    s.coalesced = g_traceCoalesced.load(std::memory_order_relaxed);
+    for (TraceShard &shard : traceShards()) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        s.entries += shard.slots.size();
+    }
     return s;
 }
 
 void
 clearTraceCache()
 {
-    std::lock_guard<std::mutex> lock(g_traceMutex);
-    traceCache().clear();
-    g_traceHits = 0;
-    g_traceMisses = 0;
+    // All shard locks, in index order (the only multi-shard lock
+    // site, so the ordering is trivially deadlock-free). A concurrent
+    // compile() either completed its lookup before we took the shard
+    // (and holds its own shared_ptr to the slot, which stays valid)
+    // or will miss afterwards and re-trace.
+    std::array<TraceShard, kNumTraceShards> &shards = traceShards();
+    std::array<std::unique_lock<std::mutex>, kNumTraceShards> locks;
+    for (size_t i = 0; i < kNumTraceShards; ++i)
+        locks[i] = std::unique_lock<std::mutex>(shards[i].mutex);
+    size_t dropped = 0;
+    for (TraceShard &shard : shards) {
+        dropped += shard.slots.size();
+        shard.slots.clear();
+    }
+    g_traceEntries.fetch_sub(dropped, std::memory_order_relaxed);
+    g_traceHits.store(0, std::memory_order_relaxed);
+    g_traceMisses.store(0, std::memory_order_relaxed);
+    g_traceCoalesced.store(0, std::memory_order_relaxed);
 }
 
 CompileResult

@@ -55,6 +55,14 @@ struct CompileOptions
     bool useTraceCache = true;
 
     /**
+     * Worker threads for design-space sweeps (Explorer::evaluateAll
+     * and the parallel exploreVariants path). 0 = hardware
+     * concurrency, 1 = serial. Does not affect a single compile() and
+     * is not part of the trace-cache key.
+     */
+    int jobs = 0;
+
+    /**
      * Front-end pass names implied by these options. Mirrors
      * backendPasses(): a pass list naming no front-end passes keeps
      * the standard IROpt pipeline (use `optimize = false` to disable
@@ -170,18 +178,37 @@ CompileResult runBackend(Module module, const PipelineModel &hw,
                          bool listSchedule = true,
                          const std::vector<std::string> &backendPasses = {});
 
-/** Hit/miss counters of the process-wide front-end trace cache. */
+/**
+ * Counters of the process-wide front-end trace cache. The cache is
+ * sharded by key hash with one mutex per shard, so concurrent sweep
+ * workers on different keys never contend; concurrent requests for
+ * the SAME key are coalesced -- the first caller traces, the others
+ * block on the in-flight entry instead of tracing redundantly.
+ */
 struct TraceCacheStats
 {
-    size_t hits = 0;
-    size_t misses = 0;  ///< == number of front-end traces performed
-    size_t entries = 0; ///< resident cached modules
+    size_t hits = 0;      ///< ready entry found
+    size_t misses = 0;    ///< == number of front-end traces performed
+    size_t coalesced = 0; ///< waited on another thread's in-flight trace
+    size_t entries = 0;   ///< resident cached modules
 };
 
 /** Snapshot the trace-cache counters. */
 TraceCacheStats traceCacheStats();
 
-/** Drop all cached traces and reset the counters (tests/benches). */
+/**
+ * Test-only: override the global trace-cache entry bound so the
+ * eviction path can be exercised without tracing hundreds of keys.
+ * 0 restores the built-in default. Returns the previous bound.
+ */
+size_t setTraceCacheCapacityForTesting(size_t capacity);
+
+/**
+ * Drop all cached traces and reset the counters (tests/benches).
+ * Safe against concurrent compile() callers: all shard locks are
+ * taken in index order, and in-flight traces complete normally for
+ * their waiters (the results are simply not retained).
+ */
 void clearTraceCache();
 
 /** The user-facing framework facade. */

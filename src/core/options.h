@@ -12,6 +12,8 @@
  *                         empty = standard (see compiler/pipeline.h)
  *   trace_cache           bool, reuse cached front-end traces (default
  *                         true)
+ *   jobs                  sweep worker threads (0 = hardware
+ *                         concurrency, 1 = serial; default 0)
  *   hw.long_lat, hw.short_lat, hw.inv_lat        itineraries
  *   hw.issue_width, hw.lin_units, hw.banks       datapath shape
  *   hw.fifo, hw.fifo_depth, hw.beta              write-back / affinity
@@ -43,6 +45,8 @@ optionsFromConfig(const Config &cfg)
     opt.listSchedule = cfg.getBool("schedule", true);
     opt.passes = parsePassList(cfg.getString("passes", ""));
     opt.useTraceCache = cfg.getBool("trace_cache", true);
+    opt.jobs = static_cast<int>(cfg.getInt("jobs", 0));
+    FINESSE_REQUIRE(opt.jobs >= 0, "jobs must be >= 0");
 
     const std::string part = cfg.getString("part", "full");
     if (part == "miller")

@@ -4,19 +4,26 @@
  */
 #include "dse/explorer.h"
 
+#include "support/threadpool.h"
+
 namespace finesse {
 
 namespace {
 
+/**
+ * Consumes the CompileResult: callers hand over their (freshly
+ * compiled) result so the per-pass stats move instead of copying the
+ * whole OptStats vector on the hot sweep path.
+ */
 void
-fillMetrics(DsePoint &p, const Framework &fw, const CompileResult &res,
+fillMetrics(DsePoint &p, const Framework &fw, CompileResult &&res,
             int cores)
 {
     p.instrs = res.instrs();
     p.mulInstrs = res.prog.module.countUnit(UnitClass::Mul);
     p.linInstrs = res.prog.module.countUnit(UnitClass::Linear);
     p.compileSeconds = res.compileSeconds;
-    p.opt = res.opt;
+    p.opt = std::move(res.opt);
 
     const CycleStats sim = simulateCycles(res.prog);
     p.cycles = sim.totalCycles;
@@ -48,9 +55,20 @@ Explorer::evaluate(const CompileOptions &opt, int cores,
     p.variants = opt.variants;
     p.hw = opt.hw;
     p.cores = cores;
-    const CompileResult res = fw_.compile(opt);
-    fillMetrics(p, fw_, res, cores);
+    fillMetrics(p, fw_, fw_.compile(opt), cores);
     return p;
+}
+
+std::vector<DsePoint>
+Explorer::evaluateAll(const std::vector<DseRequest> &points,
+                      int jobs) const
+{
+    std::vector<DsePoint> out(points.size());
+    parallelFor(points.size(), jobs, [&](size_t i) {
+        out[i] = evaluate(points[i].opt, points[i].cores,
+                          points[i].label);
+    });
+    return out;
 }
 
 DsePoint
@@ -61,8 +79,7 @@ Explorer::evaluateModule(const Module &m, const PipelineModel &hw,
     p.label = label;
     p.hw = hw;
     p.cores = cores;
-    const CompileResult res = runBackend(m, hw, true);
-    fillMetrics(p, fw_, res, cores);
+    fillMetrics(p, fw_, runBackend(m, hw, true), cores);
     return p;
 }
 
@@ -182,12 +199,22 @@ DsePoint
 Explorer::exploreVariants(const CompileOptions &base, Objective objective,
                           bool mulOnly) const
 {
+    std::vector<DseRequest> reqs;
+    for (const VariantConfig &cfg : variantSpace(mulOnly)) {
+        DseRequest req;
+        req.opt = base;
+        req.opt.variants = cfg;
+        req.label = "explored";
+        reqs.push_back(std::move(req));
+    }
+    const std::vector<DsePoint> points = evaluateAll(reqs, base.jobs);
+
+    // Stable index-ordered reduction: identical to the serial loop
+    // for every jobs value (strictly-greater keeps the earliest
+    // combination on ties).
     DsePoint best;
     bool first = true;
-    for (const VariantConfig &cfg : variantSpace(mulOnly)) {
-        CompileOptions opt = base;
-        opt.variants = cfg;
-        const DsePoint p = evaluate(opt, 1, "explored");
+    for (const DsePoint &p : points) {
         if (first || score(p, objective) > score(best, objective)) {
             best = p;
             first = false;

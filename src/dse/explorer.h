@@ -52,6 +52,14 @@ struct DsePoint
 /** Objective helpers for exploration. */
 enum class Objective { MinCycles, MaxThroughput, MaxThptPerArea, MinArea };
 
+/** One design point to evaluate (input side of evaluateAll). */
+struct DseRequest
+{
+    CompileOptions opt;
+    int cores = 1;
+    std::string label;
+};
+
 /** Explorer: evaluates and exhaustively searches design points. */
 class Explorer
 {
@@ -69,6 +77,19 @@ class Explorer
      */
     DsePoint evaluate(const CompileOptions &opt, int cores,
                       const std::string &label) const;
+
+    /**
+     * Evaluate many design points concurrently on @p jobs worker
+     * threads (0 = hardware concurrency, 1 = serial inline). Results
+     * come back index-aligned with @p points, and every point is
+     * evaluated by the same deterministic, RNG-free path as
+     * evaluate(), so the output is identical for any jobs value --
+     * only wall-clock time changes. Concurrent points sharing a
+     * front-end trace key coalesce onto one trace in the process-wide
+     * cache.
+     */
+    std::vector<DsePoint> evaluateAll(const std::vector<DseRequest> &points,
+                                      int jobs = 0) const;
 
     /**
      * Evaluate a hardware model against an already-traced module
@@ -102,7 +123,10 @@ class Explorer
     /**
      * As above, but every evaluated point inherits @p base (pass
      * pipeline, trace-cache flag, part, ...); only the variants are
-     * swept.
+     * swept. `base.jobs` selects the sweep parallelism; the winner is
+     * chosen by a stable index-ordered reduction (ties break toward
+     * the earlier variant combination), so the result is identical
+     * for every jobs value.
      */
     DsePoint exploreVariants(const CompileOptions &base,
                              Objective objective,

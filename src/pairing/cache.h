@@ -9,17 +9,25 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "pairing/system.h"
 
 namespace finesse {
 
-/** Returns the shared CurveSystem for a k = 12 catalog curve. */
+/**
+ * Returns the shared CurveSystem for a k = 12 catalog curve. Guarded
+ * by a mutex: parallel sweep workers may race to first use of a
+ * curve. Construction happens under the lock (setup is expensive but
+ * once per curve per process); references stay valid forever.
+ */
 inline const CurveSystem12 &
 curveSystem12(const std::string &name)
 {
+    static std::mutex mtx;
     static std::map<std::string, std::unique_ptr<CurveSystem12>> cache;
+    std::lock_guard<std::mutex> lock(mtx);
     auto it = cache.find(name);
     if (it == cache.end()) {
         it = cache
@@ -34,7 +42,9 @@ curveSystem12(const std::string &name)
 inline const CurveSystem24 &
 curveSystem24(const std::string &name)
 {
+    static std::mutex mtx;
     static std::map<std::string, std::unique_ptr<CurveSystem24>> cache;
+    std::lock_guard<std::mutex> lock(mtx);
     auto it = cache.find(name);
     if (it == cache.end()) {
         it = cache

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the parallel design-space sweeps.
+ * No external dependencies: std::thread workers draining one task
+ * queue, a futures-based submit(), and a parallelFor() that fans an
+ * index range out over the pool with deterministic, index-ordered
+ * result placement (workers race over a shared atomic cursor, so the
+ * schedule is dynamic but every iteration knows its own index).
+ *
+ * Nesting a parallelFor inside a pool task is not supported (the
+ * inner wait would occupy a worker slot and can deadlock a pool of
+ * size 1); the sweep engine only parallelizes the outermost loop.
+ */
+#ifndef FINESSE_SUPPORT_THREADPOOL_H_
+#define FINESSE_SUPPORT_THREADPOOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "support/common.h"
+
+namespace finesse {
+
+/**
+ * Resolve a jobs request to a worker count: n >= 1 is honored as-is,
+ * 0 (the CompileOptions/--jobs default) means hardware_concurrency.
+ */
+inline int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+/** Fixed-size worker pool; tasks are drained FIFO. */
+class ThreadPool
+{
+  public:
+    /** @p jobs as in resolveJobs(); workers start immediately. */
+    explicit ThreadPool(int jobs = 0)
+    {
+        const int n = resolveJobs(jobs);
+        workers_.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a callable; the future carries its result/exception. */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<decltype(fn())>
+    {
+        using R = decltype(fn());
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            FINESSE_CHECK(!stop_, "submit on stopped ThreadPool");
+            queue_.push([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count), spread across the pool.
+     * Blocks until all iterations finish; the first exception thrown
+     * by any iteration is rethrown here (remaining iterations are
+     * abandoned, in-flight ones run to completion).
+     */
+    template <typename Fn>
+    void
+    parallelFor(size_t count, Fn &&fn)
+    {
+        if (count == 0)
+            return;
+        auto next = std::make_shared<std::atomic<size_t>>(0);
+        auto failed = std::make_shared<std::atomic<bool>>(false);
+        const size_t lanes =
+            std::min(count, static_cast<size_t>(size()));
+        std::vector<std::future<void>> futs;
+        futs.reserve(lanes);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            futs.push_back(submit([&fn, next, failed, count] {
+                for (size_t i = (*next)++; i < count; i = (*next)++) {
+                    if (failed->load(std::memory_order_relaxed))
+                        return;
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        failed->store(true,
+                                      std::memory_order_relaxed);
+                        throw;
+                    }
+                }
+            }));
+        }
+        std::exception_ptr first;
+        for (std::future<void> &f : futs) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * One-shot convenience: run fn(i) for i in [0, count) on @p jobs
+ * workers (resolveJobs semantics). jobs == 1 runs inline on the
+ * calling thread -- the serial baseline path spawns no threads.
+ */
+template <typename Fn>
+inline void
+parallelFor(size_t count, int jobs, Fn &&fn)
+{
+    const int n = resolveJobs(jobs);
+    if (n <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    // Never spawn more workers than iterations.
+    ThreadPool pool(static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(n), count)));
+    pool.parallelFor(count, std::forward<Fn>(fn));
+}
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_THREADPOOL_H_

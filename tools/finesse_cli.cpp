@@ -23,9 +23,12 @@
  *                     bankalloc,packsched,regalloc,encode
  *   --pass-stats      print the per-pass instruction/time attribution
  *   --no-trace-cache  disable the front-end trace cache
+ *   --jobs=N          sweep worker threads for `dse` (0 = hardware
+ *                     concurrency, 1 = serial; config key `jobs`)
  * The config file uses `key = value` lines (see core/options.h); when
  * omitted, defaults (BN254N, paper hardware model) apply.
  */
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -34,6 +37,7 @@
 #include "core/options.h"
 #include "isa/progio.h"
 #include "sim/binary.h"
+#include "support/threadpool.h"
 
 using namespace finesse;
 
@@ -46,7 +50,7 @@ usage()
                  "usage: finesse_cli "
                  "{compile|validate|simulate|area|dse|disasm|deploy|exec} "
                  "[config-file] [--passes=<list>] [--pass-stats] "
-                 "[--no-trace-cache]\n");
+                 "[--no-trace-cache] [--jobs=N]\n");
     return 2;
 }
 
@@ -90,6 +94,7 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     bool passStats = false;
     bool noTraceCache = false;
+    int jobs = -1; // -1 = not on the command line; config/default wins
     std::string passList;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -99,6 +104,21 @@ main(int argc, char **argv)
             noTraceCache = true;
         } else if (arg.rfind("--passes=", 0) == 0) {
             passList = arg.substr(9);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const std::string value = arg.substr(7);
+            size_t consumed = 0;
+            try {
+                jobs = std::stoi(value, &consumed);
+            } catch (...) {
+                jobs = -1;
+            }
+            if (consumed != value.size()) // reject "4x", "1O", ...
+                jobs = -1;
+            if (jobs < 0) {
+                std::fprintf(stderr, "bad --jobs value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return usage();
@@ -146,6 +166,8 @@ main(int argc, char **argv)
             opt.passes = parsePassList(passList);
         if (noTraceCache)
             opt.useTraceCache = false;
+        if (jobs >= 0)
+            opt.jobs = jobs;
         Framework fw(curve);
         std::printf("curve %s | hw %s\n", curve.c_str(),
                     opt.hw.describe().c_str());
@@ -153,9 +175,22 @@ main(int argc, char **argv)
         if (command == "dse") {
             Explorer ex(curve);
             // The sweep inherits the configured pipeline/cache options;
-            // only the operator variants are explored.
+            // only the operator variants are explored, fanned out over
+            // opt.jobs worker threads (identical result for any value).
+            const auto t0 = std::chrono::steady_clock::now();
             const DsePoint best =
                 ex.exploreVariants(opt, Objective::MinCycles, true);
+            const double sweepSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const TraceCacheStats cache = traceCacheStats();
+            std::printf("swept %zu combos on %d workers in %.2f s "
+                        "(trace cache: %zu miss, %zu hit, "
+                        "%zu coalesced)\n",
+                        ex.variantSpace(true).size(),
+                        resolveJobs(opt.jobs), sweepSeconds,
+                        cache.misses, cache.hits, cache.coalesced);
             std::printf("best combo: %lld cycles, IPC %.2f, %.2f mm^2, "
                         "%.1f us\n",
                         static_cast<long long>(best.cycles), best.ipc,
