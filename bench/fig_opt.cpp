@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Front-end optimizer benchmark: cold IROpt wall time per catalog
+ * curve, legacy sweep-until-fixpoint engine vs the single-build
+ * OptContext worklist engine (same pass pipeline, byte-identical
+ * results enforced with Module equality).
+ *
+ * For the largest traced curve the comparison is repeated for every
+ * single-pass ablation, since the contract is identical final modules
+ * for ANY `--passes` subset, not just the default pipeline. Results
+ * go to BENCH_opt.json so the front-end speedup is tracked across
+ * PRs alongside BENCH_dse.json.
+ */
+#include <chrono>
+
+#include "bench_common.h"
+#include "compiler/pipeline.h"
+#include "core/framework.h"
+
+using namespace finesse;
+
+namespace {
+
+struct EngineRun
+{
+    Module module;
+    OptStats stats;
+    double seconds = 0.0;
+};
+
+EngineRun
+runEngine(const Module &raw, const std::vector<std::string> &passes,
+          bool worklist)
+{
+    EngineRun run;
+    run.module = raw; // cold: engine build / map rebuilds included
+    const auto t0 = std::chrono::steady_clock::now();
+    run.stats = worklist
+                    ? runFrontendPipeline(run.module, passes)
+                    : runFrontendPipelineSweep(run.module, passes);
+    run.seconds = secondsSince(t0);
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fig-opt: cold front-end optimize, sweep vs OptContext");
+
+    std::vector<std::string> curves;
+    for (const CurveDef &def : curveCatalog()) {
+        if (fastMode() && def.name != "BN254N" &&
+            def.name != "BLS12-381")
+            continue;
+        curves.push_back(def.name);
+    }
+
+    std::printf("%-12s %9s %9s %6s %9s %11s %8s %5s\n", "curve",
+                "instrs", "after", "iters", "sweep s", "worklist s",
+                "speedup", "same");
+
+    BenchJson json;
+    json.count("curves", curves.size());
+
+    std::string largest;
+    size_t largestInstrs = 0;
+    double largestSpeedup = 0.0;
+    size_t identicalRuns = 0;
+    size_t totalRuns = 0;
+
+    for (const std::string &name : curves) {
+        const ICurveHandle &h = curveHandle(name);
+        const Module raw =
+            h.trace(VariantConfig{}, TracePart::Full, false, nullptr);
+
+        const EngineRun sweep =
+            runEngine(raw, frontendPassNames(), false);
+        const EngineRun worklist =
+            runEngine(raw, frontendPassNames(), true);
+        const bool identical = sweep.module == worklist.module;
+        const double speedup =
+            worklist.seconds > 0.0 ? sweep.seconds / worklist.seconds
+                                   : 0.0;
+        ++totalRuns;
+        identicalRuns += identical;
+
+        std::printf("%-12s %9zu %9zu %6d %9.3f %11.3f %7.2fx %5s\n",
+                    name.c_str(), raw.size(), worklist.module.size(),
+                    worklist.stats.iterations, sweep.seconds,
+                    worklist.seconds, speedup,
+                    identical ? "yes" : "NO");
+
+        json.num(name + "_sweep_s", sweep.seconds)
+            .num(name + "_worklist_s", worklist.seconds)
+            .num(name + "_speedup", speedup)
+            .count(name + "_identical", identical ? 1 : 0);
+
+        if (raw.size() > largestInstrs) {
+            largestInstrs = raw.size();
+            largest = name;
+            largestSpeedup = speedup;
+        }
+    }
+
+    // Ablation identity on the largest curve: the worklist engine must
+    // match the sweep engine for every single-pass pipeline too.
+    size_t ablationsIdentical = 0;
+    if (!largest.empty()) {
+        const ICurveHandle &h = curveHandle(largest);
+        const Module raw =
+            h.trace(VariantConfig{}, TracePart::Full, false, nullptr);
+        std::printf("\nsingle-pass ablations on %s:\n",
+                    largest.c_str());
+        for (const std::string &pass : frontendPassNames()) {
+            const std::vector<std::string> pipeline = {pass};
+            const EngineRun sweep = runEngine(raw, pipeline, false);
+            const EngineRun worklist = runEngine(raw, pipeline, true);
+            const bool identical = sweep.module == worklist.module;
+            ++totalRuns;
+            identicalRuns += identical;
+            ablationsIdentical += identical;
+            std::printf("  %-16s %9zu -> %9zu  %6.3fs vs %6.3fs  %s\n",
+                        pass.c_str(), raw.size(),
+                        worklist.module.size(), sweep.seconds,
+                        worklist.seconds, identical ? "ok" : "MISMATCH");
+        }
+    }
+
+    std::printf("\nlargest curve %s: %.2fx front-end speedup, "
+                "%zu/%zu runs byte-identical\n",
+                largest.c_str(), largestSpeedup, identicalRuns,
+                totalRuns);
+
+    json.str("largest", largest)
+        .num("largest_speedup", largestSpeedup)
+        .count("ablations_identical", ablationsIdentical)
+        .count("identical_runs", identicalRuns)
+        .count("total_runs", totalRuns);
+    json.write("BENCH_opt.json");
+
+    return identicalRuns == totalRuns ? 0 : 1;
+}

@@ -135,6 +135,23 @@ class BigInt
     std::string toString() const;    ///< decimal
     std::string toHexString() const; ///< 0x-prefixed hexadecimal
 
+    /**
+     * FNV-1a over sign + magnitude limbs. Lets constant pools be
+     * hash-interned (one unordered_map probe per lookup) instead of
+     * ordered-map interned (O(log n) BigInt comparisons per lookup).
+     */
+    size_t
+    hashValue() const
+    {
+        u64 h = 14695981039346656037ull ^
+                (negative_ ? 0x9e3779b97f4a7c15ull : 0);
+        for (u64 limb : limbs_) {
+            h ^= limb;
+            h *= 1099511628211ull;
+        }
+        return static_cast<size_t>(h);
+    }
+
   private:
     static int compareMagnitude(const BigInt &a, const BigInt &b);
     static BigInt addMagnitude(const BigInt &a, const BigInt &b);
@@ -144,6 +161,16 @@ class BigInt
 
     std::vector<u64> limbs_; ///< little-endian magnitude, no trailing zeros
     bool negative_ = false;  ///< sign (false for zero)
+};
+
+/** Hasher for BigInt-keyed unordered containers (constant interning). */
+struct BigIntHash
+{
+    size_t
+    operator()(const BigInt &v) const
+    {
+        return v.hashValue();
+    }
 };
 
 /** Deterministic Miller-Rabin + trial-division primality test. */

@@ -1,10 +1,22 @@
 /**
  * @file
- * The five IROpt front-end passes as discrete Pass objects over a
- * shared rewrite engine: constant folding, zero/one propagation,
- * strength reduction, global value numbering and dead code
- * elimination. The PassManager (compiler/pipeline.cpp) iterates them
- * to a fixpoint; optimizeModule() is the classic one-call wrapper.
+ * The five IROpt front-end passes: constant folding, zero/one
+ * propagation, strength reduction, global value numbering and dead
+ * code elimination.
+ *
+ * Each rewriting pass states its simplification rules exactly once,
+ * against the engine-neutral RewriteEnv (compiler/optcontext.h), and
+ * is driven by either engine:
+ *
+ *  - the single-build OptContext worklist engine (the default --
+ *    PassManager::run), via InstRewriter::simplifyAt;
+ *  - the legacy sweep engine kept here as the reference
+ *    implementation (RewritePass::run, PassManager::runSweep): every
+ *    sweep re-walks the body, rebuilds the constant maps and resolves
+ *    operands through a per-sweep replacement table.
+ *
+ * optimizeModule() is the classic one-call wrapper over the standard
+ * front-end pipeline.
  */
 #include "compiler/passes.h"
 
@@ -12,6 +24,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "compiler/optcontext.h"
 #include "compiler/pipeline.h"
 #include "support/common.h"
 
@@ -44,19 +57,35 @@ struct VnKeyHash
     }
 };
 
+/** Commutativity canonicalization shared by both GVN engines. */
+VnKey
+canonicalVnKey(const Inst &inst)
+{
+    VnKey key{inst.op, inst.a, inst.b};
+    if (inst.op == Op::Add || inst.op == Op::Mul) {
+        if (key.a > key.b)
+            std::swap(key.a, key.b);
+    }
+    return key;
+}
+
 /**
- * Shared forward-rewrite engine. One sweep walks the body in order,
- * resolves operands through the replacements made earlier in the same
- * sweep, and asks the concrete pass to simplify each instruction:
- * a non-negative return elides the instruction in favor of an existing
- * value id; simplify() may also rewrite the op in place (strength
- * reduction). Constant tracking and interning are provided for the
- * passes that fold values.
+ * Legacy sweep engine shared by the rewriting passes, and the
+ * reference the OptContext worklist engine is validated against. One
+ * sweep walks the body in order, resolves operands through the
+ * replacements made earlier in the same sweep (path-compressed
+ * union-find), and asks the concrete pass to simplify each
+ * instruction: a non-negative return elides the instruction in favor
+ * of an existing value id; simplify() may also rewrite the op in
+ * place (strength reduction). The per-sweep constant maps implement
+ * RewriteEnv for the shared rules.
  */
-class RewritePass : public Pass
+class RewritePass : public Pass, public InstRewriter, public RewriteEnv
 {
   public:
     bool isFrontend() const override { return true; }
+
+    InstRewriter *instRewriter() override { return this; }
 
     bool
     run(CompilationContext &ctx) override
@@ -77,12 +106,9 @@ class RewritePass : public Pass
         newBody.reserve(m.body.size());
         for (const Inst &raw : m.body) {
             Inst inst = raw;
-            if (arity(inst.op) >= 1)
-                inst.a = resolve(inst.a);
-            if (arity(inst.op) >= 2)
-                inst.b = resolve(inst.b);
+            forEachOperand(inst, [&](i32 &x) { x = resolve(x); });
 
-            const i32 replacement = simplify(inst);
+            const i32 replacement = simplify(*this, inst);
             if (replacement >= 0) {
                 rep_[inst.dst] = replacement;
                 changed = true;
@@ -98,38 +124,23 @@ class RewritePass : public Pass
         return changed;
     }
 
-  protected:
-    /** Per-sweep setup hook (e.g. clearing the GVN table). */
-    virtual void beginSweep(Module &) {}
-
-    /**
-     * Try to simplify @p inst (which may be rewritten in place).
-     * Returns a replacement value id when the instruction can be
-     * elided entirely, -1 otherwise.
-     */
-    virtual i32 simplify(Inst &inst) = 0;
-
+    // Worklist-engine hook: same rules, OptContext as the environment.
     i32
-    resolve(i32 id) const
+    simplifyAt(OptContext &ctx, Inst &inst, size_t) override
     {
-        while (id >= 0 && rep_[static_cast<size_t>(id)] >= 0)
-            id = rep_[static_cast<size_t>(id)];
-        return id;
+        return simplify(ctx, inst);
     }
 
-    bool
-    constOf(i32 id, BigInt &out) const
+    // RewriteEnv over the per-sweep maps (legacy engine).
+    const BigInt *
+    constOf(i32 id) const override
     {
         auto it = constVal_.find(id);
-        if (it == constVal_.end())
-            return false;
-        out = it->second;
-        return true;
+        return it == constVal_.end() ? nullptr : &it->second;
     }
 
-    /** Intern @p v into the constant pool, reusing an existing id. */
     i32
-    internConst(const BigInt &v)
+    internConst(const BigInt &v) override
     {
         auto it = constIds_.find(v);
         if (it != constIds_.end())
@@ -142,7 +153,22 @@ class RewritePass : public Pass
         return id;
     }
 
-    const BigInt &modulus() const { return m_->p; }
+    const BigInt &modulus() const override { return m_->p; }
+
+  protected:
+    /** Per-sweep setup hook (e.g. clearing the GVN table). */
+    virtual void beginSweep(Module &) {}
+
+    /**
+     * Try to simplify @p inst (which may be rewritten in place) using
+     * @p env for constant queries/interning. Returns a replacement
+     * value id when the instruction can be elided entirely, -1
+     * otherwise. Shared verbatim by both engines.
+     */
+    virtual i32 simplify(RewriteEnv &env, Inst &inst) = 0;
+
+    /** Path-compressed replacement lookup (amortized O(1) chains). */
+    i32 resolve(i32 id) { return resolveRep(rep_, id); }
 
   private:
     Module *m_ = nullptr;
@@ -155,41 +181,37 @@ class RewritePass : public Pass
 class ConstFoldPass final : public RewritePass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "constfold";
-        return n;
-    }
+    std::string_view name() const override { return "constfold"; }
 
   protected:
     i32
-    simplify(Inst &inst) override
+    simplify(RewriteEnv &env, Inst &inst) override
     {
-        const BigInt &p = modulus();
-        BigInt ca, cb;
-        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
-        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
-        if (!aConst || (arity(inst.op) >= 2 && !bConst))
+        const int n = arity(inst.op);
+        const BigInt *ca = n >= 1 ? env.constOf(inst.a) : nullptr;
+        const BigInt *cb = n >= 2 ? env.constOf(inst.b) : nullptr;
+        if (!ca || (n >= 2 && !cb))
             return -1;
 
+        const BigInt &p = env.modulus();
         switch (inst.op) {
           case Op::Add:
-            return internConst((ca + cb).mod(p));
+            return env.internConst((*ca + *cb).mod(p));
           case Op::Sub:
-            return internConst((ca - cb).mod(p));
+            return env.internConst((*ca - *cb).mod(p));
           case Op::Mul:
-            return internConst((ca * cb).mod(p));
+            return env.internConst((*ca * *cb).mod(p));
           case Op::Sqr:
-            return internConst((ca * ca).mod(p));
+            return env.internConst((*ca * *ca).mod(p));
           case Op::Neg:
-            return internConst((-ca).mod(p));
+            return env.internConst((-*ca).mod(p));
           case Op::Dbl:
-            return internConst((ca + ca).mod(p));
+            return env.internConst((*ca + *ca).mod(p));
           case Op::Tpl:
-            return internConst((ca + ca + ca).mod(p));
+            return env.internConst((*ca + *ca + *ca).mod(p));
           case Op::Inv:
-            return internConst(ca.isZero() ? BigInt() : ca.invMod(p));
+            return env.internConst(ca->isZero() ? BigInt()
+                                                : ca->invMod(p));
           case Op::Cvt:
           case Op::Icv:
           case Op::Nop:
@@ -208,46 +230,41 @@ class ConstFoldPass final : public RewritePass
 class ZeroOnePropPass final : public RewritePass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "zerooneprop";
-        return n;
-    }
+    std::string_view name() const override { return "zerooneprop"; }
 
   protected:
     i32
-    simplify(Inst &inst) override
+    simplify(RewriteEnv &env, Inst &inst) override
     {
-        BigInt ca, cb;
-        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
-        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
-        const BigInt one(u64{1});
+        const int n = arity(inst.op);
+        const BigInt *ca = n >= 1 ? env.constOf(inst.a) : nullptr;
+        const BigInt *cb = n >= 2 ? env.constOf(inst.b) : nullptr;
+        static const BigInt one(u64{1});
 
         switch (inst.op) {
           case Op::Add:
-            if (aConst && ca.isZero())
+            if (ca && ca->isZero())
                 return inst.b;
-            if (bConst && cb.isZero())
+            if (cb && cb->isZero())
                 return inst.a;
             return -1;
           case Op::Sub:
-            if (bConst && cb.isZero())
+            if (cb && cb->isZero())
                 return inst.a;
             if (inst.a == inst.b)
-                return internConst(BigInt());
-            if (aConst && ca.isZero()) {
+                return env.internConst(BigInt());
+            if (ca && ca->isZero()) {
                 inst.op = Op::Neg;
                 inst.a = inst.b;
                 inst.b = -1;
             }
             return -1;
           case Op::Mul:
-            if ((aConst && ca.isZero()) || (bConst && cb.isZero()))
-                return internConst(BigInt());
-            if (aConst && ca == one)
+            if ((ca && ca->isZero()) || (cb && cb->isZero()))
+                return env.internConst(BigInt());
+            if (ca && *ca == one)
                 return inst.b;
-            if (bConst && cb == one)
+            if (cb && *cb == one)
                 return inst.a;
             return -1;
           default:
@@ -263,20 +280,29 @@ class ZeroOnePropPass final : public RewritePass
 class StrengthReducePass final : public RewritePass
 {
   public:
-    const std::string &
-    name() const override
+    std::string_view name() const override { return "strengthreduce"; }
+
+    void
+    beginRun(OptContext &ctx) override
     {
-        static const std::string n = "strengthreduce";
-        return n;
+        pm1_ = ctx.modulus() - BigInt(u64{1});
     }
 
   protected:
-    i32
-    simplify(Inst &inst) override
+    void
+    beginSweep(Module &m) override
     {
-        BigInt ca, cb;
-        const bool aConst = arity(inst.op) >= 1 && constOf(inst.a, ca);
-        const bool bConst = arity(inst.op) >= 2 && constOf(inst.b, cb);
+        pm1_ = m.p - BigInt(u64{1});
+    }
+
+    i32
+    simplify(RewriteEnv &env, Inst &inst) override
+    {
+        const int n = arity(inst.op);
+        const BigInt *ca = n >= 1 ? env.constOf(inst.a) : nullptr;
+        const BigInt *cb = n >= 2 ? env.constOf(inst.b) : nullptr;
+        static const BigInt two(u64{2});
+        static const BigInt three(u64{3});
 
         switch (inst.op) {
           case Op::Add:
@@ -286,21 +312,20 @@ class StrengthReducePass final : public RewritePass
             }
             return -1;
           case Op::Mul: {
-            const BigInt pm1 = modulus() - BigInt(u64{1});
             auto reduce = [&](const BigInt &c, i32 other) {
-                if (c == BigInt(u64{2})) {
+                if (c == two) {
                     inst.op = Op::Dbl;
                     inst.a = other;
                     inst.b = -1;
                     return true;
                 }
-                if (c == BigInt(u64{3})) {
+                if (c == three) {
                     inst.op = Op::Tpl;
                     inst.a = other;
                     inst.b = -1;
                     return true;
                 }
-                if (c == pm1) {
+                if (c == pm1_) {
                     inst.op = Op::Neg;
                     inst.a = other;
                     inst.b = -1;
@@ -308,9 +333,9 @@ class StrengthReducePass final : public RewritePass
                 }
                 return false;
             };
-            if (aConst && reduce(ca, inst.b))
+            if (ca && reduce(*ca, inst.b))
                 return -1;
-            if (bConst && reduce(cb, inst.a))
+            if (cb && reduce(*cb, inst.a))
                 return -1;
             if (inst.a == inst.b) {
                 inst.op = Op::Sqr;
@@ -322,30 +347,67 @@ class StrengthReducePass final : public RewritePass
             return -1;
         }
     }
+
+  private:
+    BigInt pm1_; ///< p - 1, cached once per sweep/run
 };
 
-/** gvn: global value numbering with commutativity canonicalization. */
+/**
+ * gvn: global value numbering with commutativity canonicalization.
+ *
+ * Legacy engine: the table is rebuilt every sweep in program order, so
+ * the leader of a key is its earliest alive occurrence. Worklist
+ * engine: one persistent table for the whole run, validated lazily --
+ * an entry whose instruction died or changed key is overwritten, and a
+ * dirty instruction whose key now collides with a LATER leader takes
+ * the leadership over (the later duplicate is elided), preserving the
+ * earliest-occurrence invariant and hence byte-identical results.
+ */
 class GvnPass final : public RewritePass
 {
   public:
-    const std::string &
-    name() const override
+    std::string_view name() const override { return "gvn"; }
+
+    void
+    beginRun(OptContext &) override
     {
-        static const std::string n = "gvn";
-        return n;
+        wl_.clear();
+    }
+
+    i32
+    simplifyAt(OptContext &ctx, Inst &inst, size_t idx) override
+    {
+        const VnKey key = canonicalVnKey(inst);
+        auto [it, inserted] =
+            wl_.try_emplace(key, static_cast<i32>(idx));
+        if (inserted)
+            return -1;
+        const size_t leader = static_cast<size_t>(it->second);
+        if (leader == idx)
+            return -1;
+        if (!ctx.isAlive(leader) ||
+            !(canonicalVnKey(ctx.instAt(leader)) == key)) {
+            it->second = static_cast<i32>(idx); // stale entry
+            return -1;
+        }
+        if (leader < idx)
+            return ctx.instAt(leader).dst;
+        // This instruction is the earlier occurrence: it takes the
+        // leadership and the previous (later) holder is elided --
+        // exactly what the reference sweep does when it reaches it.
+        const i32 mine = inst.dst;
+        it->second = static_cast<i32>(idx);
+        ctx.elideInst(leader, mine);
+        return -1;
     }
 
   protected:
     void beginSweep(Module &) override { vn_.clear(); }
 
     i32
-    simplify(Inst &inst) override
+    simplify(RewriteEnv &, Inst &inst) override
     {
-        VnKey key{inst.op, inst.a, inst.b};
-        if (inst.op == Op::Add || inst.op == Op::Mul) {
-            if (key.a > key.b)
-                std::swap(key.a, key.b);
-        }
+        const VnKey key = canonicalVnKey(inst);
         auto it = vn_.find(key);
         if (it != vn_.end())
             return it->second;
@@ -354,22 +416,20 @@ class GvnPass final : public RewritePass
     }
 
   private:
-    std::unordered_map<VnKey, i32, VnKeyHash> vn_;
+    std::unordered_map<VnKey, i32, VnKeyHash> vn_; ///< per sweep
+    std::unordered_map<VnKey, i32, VnKeyHash> wl_; ///< per group run
 };
 
 /**
  * dce: backward liveness from the outputs; drops dead instructions and
- * now-unreferenced constant-pool entries.
+ * now-unreferenced constant-pool entries. The worklist engine
+ * implements this natively on its use-count table (OptContext::scanDce),
+ * so no InstRewriter hook is exposed; this sweep is the reference.
  */
 class DcePass final : public Pass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "dce";
-        return n;
-    }
+    std::string_view name() const override { return "dce"; }
 
     bool isFrontend() const override { return true; }
 
@@ -386,10 +446,9 @@ class DcePass final : public Pass
             const Inst &inst = m.body[i];
             if (!live[static_cast<size_t>(inst.dst)])
                 continue;
-            if (arity(inst.op) >= 1)
-                live[static_cast<size_t>(inst.a)] = 1;
-            if (arity(inst.op) >= 2)
-                live[static_cast<size_t>(inst.b)] = 1;
+            forEachOperand(inst, [&](const i32 &x) {
+                live[static_cast<size_t>(x)] = 1;
+            });
             kept.push_back(inst);
         }
         std::reverse(kept.begin(), kept.end());

@@ -20,6 +20,7 @@
 #define FINESSE_COMPILER_PASSES_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/ir.h"
@@ -58,7 +59,7 @@ struct OptStats
 
     /** Share of the input program removed by one named pass. */
     double
-    passReductionPct(const std::string &name) const
+    passReductionPct(std::string_view name) const
     {
         const PassStats *ps = pass(name);
         if (!ps || instrsBefore == 0)
@@ -69,7 +70,7 @@ struct OptStats
 
     /** Stats entry for a named pass, nullptr when it never ran. */
     const PassStats *
-    pass(const std::string &name) const
+    pass(std::string_view name) const
     {
         for (const PassStats &ps : passes) {
             if (ps.name == name)

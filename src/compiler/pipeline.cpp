@@ -7,6 +7,7 @@
 
 #include <chrono>
 
+#include "compiler/optcontext.h"
 #include "support/common.h"
 
 namespace finesse {
@@ -15,22 +16,11 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 /** bankalloc: residual (modulo) value -> register-bank assignment. */
 class BankAllocPass final : public Pass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "bankalloc";
-        return n;
-    }
+    std::string_view name() const override { return "bankalloc"; }
 
     bool isFrontend() const override { return false; }
 
@@ -47,12 +37,7 @@ class BankAllocPass final : public Pass
 class PackSchedPass final : public Pass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "packsched";
-        return n;
-    }
+    std::string_view name() const override { return "packsched"; }
 
     bool isFrontend() const override { return false; }
 
@@ -73,12 +58,7 @@ class PackSchedPass final : public Pass
 class RegAllocPass final : public Pass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "regalloc";
-        return n;
-    }
+    std::string_view name() const override { return "regalloc"; }
 
     bool isFrontend() const override { return false; }
 
@@ -98,12 +78,7 @@ class RegAllocPass final : public Pass
 class EncodePass final : public Pass
 {
   public:
-    const std::string &
-    name() const override
-    {
-        static const std::string n = "encode";
-        return n;
-    }
+    std::string_view name() const override { return "encode"; }
 
     bool isFrontend() const override { return false; }
 
@@ -224,27 +199,29 @@ PassManager::names() const
     std::vector<std::string> out;
     out.reserve(passes_.size());
     for (const auto &p : passes_)
-        out.push_back(p->name());
+        out.emplace_back(p->name());
     return out;
+}
+
+PassStats &
+ensurePassStats(OptStats &stats, std::string_view name, bool frontend)
+{
+    for (PassStats &ps : stats.passes) {
+        if (ps.name == name)
+            return ps;
+    }
+    PassStats ps;
+    ps.name = name;
+    ps.frontend = frontend;
+    stats.passes.push_back(std::move(ps));
+    return stats.passes.back();
 }
 
 bool
 PassManager::invoke(Pass &pass, CompilationContext &ctx)
 {
-    PassStats *entry = nullptr;
-    for (PassStats &ps : ctx.stats.passes) {
-        if (ps.name == pass.name()) {
-            entry = &ps;
-            break;
-        }
-    }
-    if (!entry) {
-        PassStats ps;
-        ps.name = pass.name();
-        ps.frontend = pass.isFrontend();
-        ctx.stats.passes.push_back(ps);
-        entry = &ctx.stats.passes.back();
-    }
+    PassStats *entry =
+        &ensurePassStats(ctx.stats, pass.name(), pass.isFrontend());
 
     const size_t before = ctx.module().size();
     const auto start = Clock::now();
@@ -263,6 +240,18 @@ PassManager::invoke(Pass &pass, CompilationContext &ctx)
 void
 PassManager::run(CompilationContext &ctx)
 {
+    runImpl(ctx, /*worklist=*/true);
+}
+
+void
+PassManager::runSweep(CompilationContext &ctx)
+{
+    runImpl(ctx, /*worklist=*/false);
+}
+
+void
+PassManager::runImpl(CompilationContext &ctx, bool worklist)
+{
     size_t i = 0;
     while (i < passes_.size()) {
         if (!passes_[i]->isFrontend()) {
@@ -270,17 +259,25 @@ PassManager::run(CompilationContext &ctx)
             ++i;
             continue;
         }
-        // Contiguous front-end group: sweep to a fixpoint.
+        // Contiguous front-end group: iterate to a fixpoint.
         size_t j = i;
         while (j < passes_.size() && passes_[j]->isFrontend())
             ++j;
-        for (int iter = 0; iter < kMaxFixpointIters; ++iter) {
-            ++ctx.stats.iterations;
-            bool changed = false;
+        if (worklist) {
+            std::vector<Pass *> group;
+            group.reserve(j - i);
             for (size_t k = i; k < j; ++k)
-                changed |= invoke(*passes_[k], ctx);
-            if (!changed)
-                break;
+                group.push_back(passes_[k].get());
+            runFrontendWorklist(ctx, group);
+        } else {
+            for (int iter = 0; iter < kMaxFixpointIters; ++iter) {
+                ++ctx.stats.iterations;
+                bool changed = false;
+                for (size_t k = i; k < j; ++k)
+                    changed |= invoke(*passes_[k], ctx);
+                if (!changed)
+                    break;
+            }
         }
         i = j;
     }
@@ -313,8 +310,11 @@ PassManager::fromNames(const std::vector<std::string> &names)
     return pm;
 }
 
+namespace {
+
 OptStats
-runFrontendPipeline(Module &m, const std::vector<std::string> &names)
+runFrontendImpl(Module &m, const std::vector<std::string> &names,
+                bool worklist)
 {
     CompilationContext ctx;
     ctx.prog.module = std::move(m);
@@ -324,12 +324,31 @@ runFrontendPipeline(Module &m, const std::vector<std::string> &names)
             FINESSE_CHECK(isFrontendPassName(n),
                           "not a front-end pass: ", n);
         }
-        PassManager::fromNames(names).run(ctx);
+        PassManager pm = PassManager::fromNames(names);
+        if (worklist)
+            pm.run(ctx);
+        else
+            pm.runSweep(ctx);
         ctx.module().verify();
     }
     ctx.stats.instrsAfter = ctx.module().size();
     m = std::move(ctx.prog.module);
     return ctx.stats;
+}
+
+} // namespace
+
+OptStats
+runFrontendPipeline(Module &m, const std::vector<std::string> &names)
+{
+    return runFrontendImpl(m, names, /*worklist=*/true);
+}
+
+OptStats
+runFrontendPipelineSweep(Module &m,
+                         const std::vector<std::string> &names)
+{
+    return runFrontendImpl(m, names, /*worklist=*/false);
 }
 
 } // namespace finesse

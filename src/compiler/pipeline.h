@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "compiler/backend.h"
@@ -23,6 +24,8 @@
 #include "isa/encode.h"
 
 namespace finesse {
+
+class InstRewriter; // worklist hook of the front-end passes (optcontext.h)
 
 /**
  * Everything one compilation owns, shared by all passes. The front-end
@@ -53,22 +56,43 @@ class Pass
   public:
     virtual ~Pass() = default;
 
-    virtual const std::string &name() const = 0;
+    virtual std::string_view name() const = 0;
 
     /** Front-end passes are iterated to a fixpoint as a group. */
     virtual bool isFrontend() const = 0;
 
-    /** Run on the context; returns true when anything changed. */
+    /**
+     * Run one full sweep on the context; returns true when anything
+     * changed. Backend stages run this exactly once; for front-end
+     * passes this is the reference sweep engine (the worklist engine
+     * drives instRewriter() instead).
+     */
     virtual bool run(CompilationContext &ctx) = 0;
+
+    /**
+     * Worklist hook for the single-build OptContext engine. Non-null
+     * for every rewriting front-end pass; null for backend stages and
+     * for dce (which the engine implements natively on its use-count
+     * table).
+     */
+    virtual InstRewriter *instRewriter() { return nullptr; }
 };
 
 /**
  * Ordered pass pipeline with per-pass instrumentation. Contiguous
- * front-end passes form a group that is swept repeatedly (up to
- * kMaxFixpointIters times) until no pass reports a change; backend
+ * front-end passes form a group that is iterated (up to
+ * kMaxFixpointIters rounds) until no pass reports a change; backend
  * passes run exactly once, in order. Each invocation records
- * instruction deltas, sweep counts and wall time into
+ * instruction deltas, round counts and wall time into
  * CompilationContext::stats.
+ *
+ * Front-end groups run on the single-build OptContext worklist engine
+ * (compiler/optcontext.h): one shared use-count / replacement /
+ * constant-pool build per group run, with per-round scans visiting
+ * only instructions whose operands changed. runSweep() drives the
+ * legacy whole-body sweep engine instead -- the reference
+ * implementation the worklist engine is benchmarked and
+ * byte-identity-tested against.
  */
 class PassManager
 {
@@ -81,7 +105,11 @@ class PassManager
     size_t size() const { return passes_.size(); }
     std::vector<std::string> names() const;
 
+    /** Run the pipeline (worklist engine for front-end groups). */
     void run(CompilationContext &ctx);
+
+    /** Run with the legacy per-sweep front-end engine (reference). */
+    void runSweep(CompilationContext &ctx);
 
     /** The five IROpt passes in canonical order. */
     static PassManager standardFrontend();
@@ -91,6 +119,7 @@ class PassManager
     static PassManager fromNames(const std::vector<std::string> &names);
 
   private:
+    void runImpl(CompilationContext &ctx, bool worklist);
     bool invoke(Pass &pass, CompilationContext &ctx);
 
     std::vector<std::unique_ptr<Pass>> passes_;
@@ -126,6 +155,24 @@ std::vector<std::string> parsePassList(const std::string &csv);
  */
 OptStats runFrontendPipeline(Module &m,
                              const std::vector<std::string> &names);
+
+/**
+ * Same pipeline on the legacy sweep-until-fixpoint engine: every
+ * sweep of every pass re-walks the whole body and rebuilds the
+ * constant-pool maps. Kept as the reference implementation --
+ * bench/fig_opt and tests/test_optcontext check the worklist engine
+ * produces byte-identical modules and matching per-pass stats.
+ */
+OptStats runFrontendPipelineSweep(Module &m,
+                                  const std::vector<std::string> &names);
+
+/**
+ * Find-or-append the PassStats entry for @p name in @p stats
+ * (first-invocation order, the order the pipeline reports).
+ * The reference is invalidated by the next ensurePassStats call.
+ */
+PassStats &ensurePassStats(OptStats &stats, std::string_view name,
+                           bool frontend);
 
 } // namespace finesse
 

@@ -444,6 +444,21 @@ curveHandle(const std::string &name)
     return *it->second;
 }
 
+int
+Framework::validateModule(const Module &m, int vectors, TracePart part,
+                          u64 seed) const
+{
+    Rng rng(seed);
+    FpCtx fp(info().p);
+    int matches = 0;
+    for (int i = 0; i < vectors; ++i) {
+        const auto inputs = handle_->sampleInputs(rng, part);
+        const auto want = handle_->nativeReference(inputs, part);
+        matches += runModule(m, fp, inputs) == want;
+    }
+    return matches;
+}
+
 ValidationReport
 Framework::validate(const CompileResult &result, int vectors,
                     TracePart part, u64 seed) const

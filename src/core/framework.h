@@ -234,6 +234,16 @@ class Framework
                               TracePart part = TracePart::Full,
                               u64 seed = 42) const;
 
+    /**
+     * Validate a bare SSA module (e.g. an ablation-optimized trace
+     * that never went through the backend) against the native
+     * library on the functional simulator. Returns the number of
+     * matching vectors (== @p vectors when the module is correct).
+     */
+    int validateModule(const Module &m, int vectors,
+                       TracePart part = TracePart::Full,
+                       u64 seed = 42) const;
+
     /** Cycle-accurate simulation of a compiled program. */
     CycleStats
     simulate(const CompileResult &result) const

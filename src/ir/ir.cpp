@@ -10,6 +10,34 @@
 
 namespace finesse {
 
+size_t
+Module::compact(const std::vector<u8> &instAlive,
+                const std::vector<u8> &constAlive)
+{
+    FINESSE_CHECK(instAlive.size() == body.size(),
+                  "compact: instAlive/body size mismatch");
+    FINESSE_CHECK(constAlive.size() == constants.size(),
+                  "compact: constAlive/constants size mismatch");
+    size_t w = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (instAlive[i])
+            body[w++] = body[i];
+    }
+    const size_t removed = body.size() - w;
+    body.resize(w);
+
+    size_t cw = 0;
+    for (size_t i = 0; i < constants.size(); ++i) {
+        if (constAlive[i]) {
+            if (cw != i)
+                constants[cw] = std::move(constants[i]);
+            ++cw;
+        }
+    }
+    constants.resize(cw);
+    return removed;
+}
+
 std::string
 Module::print(size_t maxInstrs) const
 {

@@ -109,13 +109,33 @@ struct Inst
     i32 dst = -1;
     i32 a = -1;
     i32 b = -1;
+
+    bool operator==(const Inst &) const = default;
 };
+
+/**
+ * Visit the register operands an instruction actually reads, by
+ * reference and arity-aware, so rewrite engines can update operand
+ * slots without duplicating the arity switch at every site.
+ */
+template <typename InstT, typename Fn>
+inline void
+forEachOperand(InstT &inst, Fn &&fn)
+{
+    const int n = arity(inst.op);
+    if (n >= 1)
+        fn(inst.a);
+    if (n >= 2)
+        fn(inst.b);
+}
 
 /** A constant-pool entry. */
 struct ConstEntry
 {
     i32 id;
     BigInt value;
+
+    bool operator==(const ConstEntry &) const = default;
 };
 
 /** Straight-line SSA program over Fp. */
@@ -150,6 +170,15 @@ struct Module
         return n;
     }
 
+    /**
+     * Drop tombstoned instructions and constant-pool entries in one
+     * stable in-place pass each (the optimizer's single compaction at
+     * pipeline end). @p instAlive / @p constAlive are parallel to
+     * body / constants; returns the number of instructions removed.
+     */
+    size_t compact(const std::vector<u8> &instAlive,
+                   const std::vector<u8> &constAlive);
+
     /** Render a (possibly truncated) textual listing. */
     std::string print(size_t maxInstrs = 64) const;
 
@@ -158,6 +187,9 @@ struct Module
      * before use, arity respected, outputs defined. Panics on failure.
      */
     void verify() const;
+
+    /** Structural identity: same body, I/O maps and constant pool. */
+    bool operator==(const Module &) const = default;
 };
 
 } // namespace finesse

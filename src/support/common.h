@@ -9,6 +9,7 @@
 #ifndef FINESSE_SUPPORT_COMMON_H_
 #define FINESSE_SUPPORT_COMMON_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -67,6 +68,15 @@ template <typename... Args>
 fatal(Args &&...args)
 {
     throw FatalError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** Seconds elapsed since @p start on the steady clock. */
+inline double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 /** Internal-invariant check; throws PanicError when violated. */
