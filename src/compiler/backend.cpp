@@ -1,6 +1,10 @@
 /**
  * @file
- * Backend implementation: BankAlloc, PackSched (Algorithm 2), RegAlloc.
+ * Backend implementation: BankAlloc, the PackSched (Algorithm 2)
+ * reference oracle, and RegAlloc. The production scheduleModule runs
+ * on the dense batched engine (compiler/backendprep.h); the legacy
+ * Module-walking implementation below is kept byte-identical as the
+ * reference the dense engine is tested and benchmarked against.
  */
 #include "compiler/backend.h"
 
@@ -8,6 +12,7 @@
 #include <map>
 #include <queue>
 
+#include "compiler/backendprep.h"
 #include "compiler/ports.h"
 
 namespace finesse {
@@ -27,6 +32,18 @@ Schedule
 scheduleModule(const Module &m, const BankAssignment &banks,
                const PipelineModel &hw, bool useListScheduling)
 {
+    const TracePrep prep = buildTracePrep(m);
+    BackendScratch scratch;
+    Schedule sched;
+    scheduleModule(m, prep, banks, hw, useListScheduling, scratch,
+                   sched);
+    return sched;
+}
+
+Schedule
+scheduleModuleReference(const Module &m, const BankAssignment &banks,
+                        const PipelineModel &hw, bool useListScheduling)
+{
     hw.validate();
     const size_t n = m.body.size();
 
@@ -42,7 +59,7 @@ scheduleModule(const Module &m, const BankAssignment &banks,
     if (!useListScheduling) {
         // "Init" baseline: program order, single instruction per
         // bundle, in-order issue with interlock stalls.
-        PortTracker ports(hw);
+        LegacyPortTracker ports(hw);
         sched.bundles.reserve(n);
         i64 cycle = 0;
         for (size_t i = 0; i < n; ++i) {
@@ -130,7 +147,7 @@ scheduleModule(const Module &m, const BankAssignment &banks,
             pending.push({0, static_cast<i32>(i)});
     }
 
-    PortTracker ports(hw);
+    LegacyPortTracker ports(hw);
     std::vector<i32> ready;
     std::vector<i32> leftover; // reused across cycles (no realloc)
     ready.reserve(64);

@@ -19,6 +19,8 @@ struct BankAssignment
 {
     std::vector<i32> bankOf; ///< per value id
     int numBanks = 1;
+
+    bool operator==(const BankAssignment &) const = default;
 };
 
 /**
@@ -30,6 +32,8 @@ BankAssignment assignBanks(const Module &m, const PipelineModel &hw);
 struct Bundle
 {
     std::vector<i32> instIdx; ///< indexes into Module::body
+
+    bool operator==(const Bundle &) const = default;
 };
 
 /** Static schedule: ordered bundles plus estimated timing. */
@@ -48,6 +52,8 @@ struct Schedule
                          static_cast<double>(estimatedCycles)
                    : 0.0;
     }
+
+    bool operator==(const Schedule &) const = default;
 };
 
 /**
@@ -55,10 +61,24 @@ struct Schedule
  * program order (one instruction per bundle): the "Init" baseline.
  * Otherwise: top-down list scheduling over the dependence DAG with
  * issue-slot affinity ordering and greedy constraint-checked packing
- * (Algorithm 2).
+ * (Algorithm 2). Runs on the dense batched engine
+ * (compiler/backendprep.h) with a per-call prep/scratch; sweeps that
+ * evaluate many hardware points against one trace should build the
+ * TracePrep once and call the prep overload directly.
  */
 Schedule scheduleModule(const Module &m, const BankAssignment &banks,
                         const PipelineModel &hw, bool useListScheduling);
+
+/**
+ * Reference oracle: the legacy Module-walking scheduler (per-call
+ * dependence-graph rebuild, ordered-map LegacyPortTracker). Kept
+ * byte-identical to scheduleModule by the identity tests
+ * (tests/test_backend_props.cpp) and bench/fig_backend.
+ */
+Schedule scheduleModuleReference(const Module &m,
+                                 const BankAssignment &banks,
+                                 const PipelineModel &hw,
+                                 bool useListScheduling);
 
 /** Register assignment within banks. */
 struct RegAssignment
@@ -74,6 +94,8 @@ struct RegAssignment
             m = std::max(m, v);
         return m;
     }
+
+    bool operator==(const RegAssignment &) const = default;
 };
 
 /**

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Batched backend evaluation: the hardware-independent per-trace
+ * artifact (TracePrep), the reusable per-worker buffer set
+ * (BackendScratch), and the allocation-free backend point runner.
+ *
+ * A DSE sweep evaluates many (hardware model, schedule mode) points
+ * against one cached front-end trace. The classic path re-derived the
+ * identical def-use/dependence graph from the Module for every point
+ * and churned through per-point allocations; here the graph is built
+ * exactly once per trace (TracePrep, immutable, shared read-only by
+ * every worker) and all per-point working state lives in a
+ * BackendScratch that is reset -- never reallocated -- between
+ * points. The engines are byte-identical to the legacy Module-walking
+ * reference (scheduleModuleReference / allocateRegisters), which is
+ * kept as the oracle (tests/test_backend_props.cpp,
+ * bench/fig_backend.cpp).
+ */
+#ifndef FINESSE_COMPILER_BACKENDPREP_H_
+#define FINESSE_COMPILER_BACKENDPREP_H_
+
+#include <utility>
+#include <vector>
+
+#include "compiler/backend.h"
+#include "compiler/ports.h"
+
+namespace finesse {
+
+/**
+ * Immutable, hardware-independent prep of one front-end trace:
+ * defining instruction per value, in-body dependence counts, a CSR
+ * users table (users listed in body order, exactly the order the
+ * legacy per-point vectors produced), and per-instruction unit/arity
+ * classes. Computed once per cached trace; shared read-only by all
+ * design points of that trace.
+ */
+struct TracePrep
+{
+    i32 numValues = 0;
+    size_t numInstrs = 0;
+    std::vector<i32> defInst; ///< per value id: body index or -1
+    std::vector<int> deps;    ///< per body index: # in-body operand deps
+    std::vector<i32> userStart; ///< CSR offsets, size numValues + 1
+    std::vector<i32> userList;  ///< CSR payload: user body indices
+    std::vector<u8> unit;       ///< UnitClass per body index
+    std::vector<u8> numReads;   ///< register-operand arity per body index
+    size_t mulInstrs = 0;       ///< countUnit(Mul), precomputed
+    size_t linInstrs = 0;       ///< countUnit(Linear), precomputed
+
+    /** Users of value @p v (body indices, body order). */
+    std::pair<const i32 *, const i32 *>
+    usersOf(i32 v) const
+    {
+        return {userList.data() + userStart[static_cast<size_t>(v)],
+                userList.data() + userStart[static_cast<size_t>(v) + 1]};
+    }
+};
+
+/** Build the prep for @p m (one O(body) pass set). */
+TracePrep buildTracePrep(const Module &m);
+
+/** Backend artifacts of one (trace, hw) point; the module is shared,
+ *  not owned. The encoded binary is summarized by its layout (word
+ *  width / IMem bits) -- exactly what the area model consumes -- so a
+ *  sweep point never materializes instruction words or clones the
+ *  constant pool. */
+struct BackendPoint
+{
+    BankAssignment banks;
+    Schedule schedule;
+    RegAssignment regs;
+    int wordBits = 0;
+    size_t imemBits = 0;
+    double seconds = 0.0; ///< backend wall time for this point
+    // Per-stage wall times, pipeline order (for --pass-stats rows).
+    double bankallocSeconds = 0.0;
+    double packschedSeconds = 0.0;
+    double regallocSeconds = 0.0;
+    double encodeSeconds = 0.0;
+};
+
+/**
+ * Reusable per-worker working set for backend runs: scheduler
+ * priority/ready/leftover/heap buffers, register-allocator liveness
+ * and expiry buffers, simulator replay buffers, and the dense port
+ * trackers. Every buffer is reset with its capacity retained, so a
+ * warmed-up worker evaluates a design point with near-zero heap
+ * traffic. One scratch per worker thread; never shared concurrently.
+ */
+struct BackendScratch
+{
+    // Scheduler.
+    std::vector<i64> readyAt, prio, earliest;
+    std::vector<int> deps;
+    std::vector<std::pair<i64, i32>> pending; ///< binary min-heap
+    std::vector<i32> ready, leftover;
+    PortTracker ports;
+    // Register allocator.
+    std::vector<i64> lastUse, defPos;
+    std::vector<i32> expiryStart, expiryCursor, expiryList;
+    std::vector<std::vector<i32>> freeList;
+    std::vector<i32> nextReg;
+    // Cycle simulator.
+    std::vector<i64> simReadyAt;
+    std::vector<PortOp> pops;
+    PortTracker simPorts;
+    // Reused per-point result (for sweeps that consume metrics only).
+    BackendPoint point;
+};
+
+/** BankAlloc into a reused assignment (same result as assignBanks). */
+void assignBanksInto(const Module &m, const PipelineModel &hw,
+                     BankAssignment &out);
+
+/**
+ * PackSched against a shared TracePrep: the batched-engine overload of
+ * scheduleModule. Byte-identical schedules to the legacy reference for
+ * both init (program-order) and list scheduling; zero graph
+ * rebuilding, and all working state in @p scratch. @p sched is
+ * overwritten in place, reusing its buffers.
+ */
+void scheduleModule(const Module &m, const TracePrep &prep,
+                    const BankAssignment &banks, const PipelineModel &hw,
+                    bool useListScheduling, BackendScratch &scratch,
+                    Schedule &sched);
+
+/**
+ * RegAlloc with scratch-resident liveness/expiry buffers (counting-
+ * sorted expiry buckets replace the legacy std::map). Byte-identical
+ * register assignment to allocateRegisters.
+ */
+void allocateRegistersInto(const Module &m, const BankAssignment &banks,
+                           const Schedule &sched, BackendScratch &scratch,
+                           RegAssignment &out);
+
+/**
+ * One full backend point: BankAlloc + PackSched + RegAlloc + encoding
+ * layout (word width, IMem bits -- the encode-stage outputs the DSE
+ * metrics actually consume, including the register-pressure encoding
+ * check). Writes into @p out, reusing its buffers.
+ */
+void runBackendPoint(const Module &m, const TracePrep &prep,
+                     const PipelineModel &hw, bool listSchedule,
+                     BackendScratch &scratch, BackendPoint &out);
+
+} // namespace finesse
+
+#endif // FINESSE_COMPILER_BACKENDPREP_H_

@@ -160,14 +160,17 @@ evictOverCapacity()
 
 /**
  * Front end with caching: trace + IROpt exactly once per (curve,
- * variants, part, pipeline) key, then clone the module for every
- * caller. A missing key is traced with only the slot published (the
- * shard lock is NOT held across the trace), so concurrent requests
- * for other keys proceed and concurrent requests for the same key
- * coalesce onto the in-flight slot.
+ * variants, part, pipeline) key. Returns a zero-clone handle aliased
+ * into the cache slot: the module is shared read-only by every caller
+ * (and by the batched DSE engine), and the aliasing shared_ptr keeps
+ * it alive across eviction and clearTraceCache(). A missing key is
+ * traced with only the slot published (the shard lock is NOT held
+ * across the trace), so concurrent requests for other keys proceed
+ * and concurrent requests for the same key coalesce onto the
+ * in-flight slot.
  */
-Module
-cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
+std::shared_ptr<const Module>
+sharedFrontend(const ICurveHandle &h, const CompileOptions &opt,
                OptStats &statsOut)
 {
     auto traceNow = [&] {
@@ -176,7 +179,7 @@ cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
         return m;
     };
     if (!opt.useTraceCache)
-        return traceNow();
+        return std::make_shared<const Module>(traceNow());
 
     const std::string key = traceCacheKey(h.info().def.name, opt);
     TraceShard &shard =
@@ -210,7 +213,7 @@ cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
             slot->entry = std::move(entry);
             slot->ready = true;
             slot->cv.notify_all();
-            return slot->entry.module; // clone
+            return {slot, &slot->entry.module}; // shared, no clone
         } catch (...) {
             {
                 std::lock_guard<std::mutex> sl(slot->mutex);
@@ -239,7 +242,20 @@ cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
     if (slot->error)
         std::rethrow_exception(slot->error);
     statsOut = slot->entry.stats;
-    return slot->entry.module; // clone
+    return {slot, &slot->entry.module}; // shared, no clone
+}
+
+/** Owning-copy front end (Framework::compile needs its own module). */
+Module
+cachedFrontend(const ICurveHandle &h, const CompileOptions &opt,
+               OptStats &statsOut)
+{
+    if (!opt.useTraceCache) {
+        Module m = h.trace(opt.variants, opt.part, false, nullptr);
+        statsOut = runFrontendPipeline(m, opt.frontendPasses());
+        return m;
+    }
+    return *sharedFrontend(h, opt, statsOut); // clone
 }
 
 /**
@@ -406,6 +422,18 @@ clearTraceCache()
     g_traceHits.store(0, std::memory_order_relaxed);
     g_traceMisses.store(0, std::memory_order_relaxed);
     g_traceCoalesced.store(0, std::memory_order_relaxed);
+}
+
+std::string
+Framework::traceKey(const CompileOptions &opt) const
+{
+    return traceCacheKey(handle_->info().def.name, opt);
+}
+
+std::shared_ptr<const Module>
+Framework::traceShared(const CompileOptions &opt, OptStats &stats) const
+{
+    return sharedFrontend(*handle_, opt, stats);
 }
 
 CompileResult

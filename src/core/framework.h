@@ -229,6 +229,25 @@ class Framework
         return handle_->compile(opt);
     }
 
+    /**
+     * Canonical front-end trace-cache key of @p opt on this curve:
+     * (curve, TracePart, front-end pipeline, variants). Two options
+     * with equal keys share one cached trace; the batched DSE engine
+     * groups design points by exactly this key.
+     */
+    std::string traceKey(const CompileOptions &opt) const;
+
+    /**
+     * Zero-clone handle to the (cached) front-end trace for @p opt.
+     * The module is shared read-only with the cache and every other
+     * holder -- never mutate it; run the backend against it via the
+     * batched engine (compiler/backendprep.h). Fills @p stats with
+     * the front-end pass stats. The handle keeps the trace alive
+     * across cache eviction and clearTraceCache().
+     */
+    std::shared_ptr<const Module> traceShared(const CompileOptions &opt,
+                                              OptStats &stats) const;
+
     /** Cross-validate a compiled program against the native library. */
     ValidationReport validate(const CompileResult &result, int vectors,
                               TracePart part = TracePart::Full,

@@ -1,9 +1,18 @@
 /**
  * @file
- * Explorer implementation.
+ * Explorer implementation. evaluate()/evaluateAll() run the batched
+ * backend engine: design points are grouped by front-end trace key,
+ * each group's cached trace is shared un-cloned (Framework::
+ * traceShared) and prepped once (TracePrep), and every worker thread
+ * evaluates its points with one reusable BackendScratch. The pre-
+ * batching per-point path is kept as evaluateAllUngrouped(), the
+ * oracle the grouped engine is identity-tested against.
  */
 #include "dse/explorer.h"
 
+#include <unordered_map>
+
+#include "compiler/backendprep.h"
 #include "support/threadpool.h"
 
 namespace finesse {
@@ -44,11 +53,104 @@ fillMetrics(DsePoint &p, const Framework &fw, CompileResult &&res,
     p.thptPerArea = p.throughputOps / p.areaMm2;
 }
 
+/**
+ * Batchable = the standard backend stage pipeline with the trace
+ * cache enabled. Anything else (stage ablations, --no-trace-cache)
+ * takes the legacy per-point compile path, which honors every option.
+ */
+bool
+batchable(const CompileOptions &opt)
+{
+    return opt.useTraceCache && opt.backendPasses() == backendPassNames();
+}
+
+/** Per-worker reusable backend buffers (one per thread, never shared). */
+BackendScratch &
+workerScratch()
+{
+    static thread_local BackendScratch scratch;
+    return scratch;
+}
+
+/**
+ * One design point on the batched engine: backend artifacts + cycle
+ * simulation + area/timing models against the shared immutable
+ * (module, prep). Computes exactly the numbers fillMetrics derives
+ * from a full CompileResult -- identical by the engine-identity and
+ * encoding-layout contracts -- without cloning the module or
+ * materializing the binary.
+ */
+DsePoint
+evaluatePoint(const Framework &fw, const Module &m, const TracePrep &prep,
+              const CompileOptions &opt, int cores,
+              const std::string &label, const OptStats &stats,
+              BackendScratch &scratch)
+{
+    DsePoint p;
+    p.label = label;
+    p.variants = opt.variants;
+    p.hw = opt.hw;
+    p.cores = cores;
+    p.opt = stats;
+
+    BackendPoint &bp = scratch.point;
+    runBackendPoint(m, prep, opt.hw, opt.listSchedule, scratch, bp);
+    p.instrs = m.size();
+    p.mulInstrs = prep.mulInstrs;
+    p.linInstrs = prep.linInstrs;
+    p.compileSeconds = bp.seconds;
+
+    // Backend stage rows for --pass-stats, like the PassManager path
+    // appends (invocations/wall time; backend stages remove nothing).
+    const std::pair<const char *, double> stages[] = {
+        {"bankalloc", bp.bankallocSeconds},
+        {"packsched", bp.packschedSeconds},
+        {"regalloc", bp.regallocSeconds},
+        {"encode", bp.encodeSeconds},
+    };
+    for (const auto &[name, seconds] : stages) {
+        PassStats &ps = ensurePassStats(p.opt, name, false);
+        ps.invocations += 1;
+        ps.seconds += seconds;
+        p.opt.seconds += seconds;
+    }
+
+    const CycleStats sim = simulateCycles(m, bp.banks, bp.schedule,
+                                          opt.hw, 10000, 64, &scratch);
+    p.cycles = sim.totalCycles;
+    p.ipc = sim.ipc();
+
+    // Same DesignPoint Framework::area builds from a CompileResult.
+    DesignPoint dp;
+    dp.fpBits = fw.info().logP();
+    dp.longDepth = opt.hw.longLat;
+    dp.numLinUnits = opt.hw.numLinUnits;
+    dp.cores = cores;
+    dp.imemBits = bp.imemBits;
+    size_t words = 0;
+    for (i32 w : bp.regs.maxRegsPerBank)
+        words += static_cast<size_t>(w);
+    dp.dmemWords = words;
+    dp.numBanks = bp.banks.numBanks;
+    p.areaMm2 = AreaModel().report(dp).totalArea;
+
+    TimingModel timing;
+    p.criticalPathNs =
+        timing.criticalPathNs(fw.info().logP(), opt.hw.longLat);
+    p.freqMHz = timing.frequencyMHz(fw.info().logP(), opt.hw.longLat);
+
+    p.latencyUs = static_cast<double>(p.cycles) / p.freqMHz;
+    p.throughputOps =
+        cores * p.freqMHz * 1e6 / static_cast<double>(p.cycles);
+    p.thptPerArea = p.throughputOps / p.areaMm2;
+    return p;
+}
+
 } // namespace
 
 DsePoint
-Explorer::evaluate(const CompileOptions &opt, int cores,
-                   const std::string &label) const
+Explorer::evaluateLegacy(const CompileOptions &opt, int cores,
+                         const std::string &label) const
 {
     DsePoint p;
     p.label = label;
@@ -59,14 +161,86 @@ Explorer::evaluate(const CompileOptions &opt, int cores,
     return p;
 }
 
+DsePoint
+Explorer::evaluate(const CompileOptions &opt, int cores,
+                   const std::string &label) const
+{
+    if (!batchable(opt))
+        return evaluateLegacy(opt, cores, label);
+    OptStats stats;
+    const std::shared_ptr<const Module> trace =
+        fw_.traceShared(opt, stats);
+    const TracePrep prep = buildTracePrep(*trace);
+    return evaluatePoint(fw_, *trace, prep, opt, cores, label, stats,
+                         workerScratch());
+}
+
 std::vector<DsePoint>
 Explorer::evaluateAll(const std::vector<DseRequest> &points,
                       int jobs) const
 {
     std::vector<DsePoint> out(points.size());
+
+    // Bucket batchable requests by trace key; everything else goes
+    // through the legacy per-point path in phase B.
+    struct TraceGroup
+    {
+        size_t firstPoint = 0;
+        std::shared_ptr<const Module> module;
+        TracePrep prep;
+        OptStats stats;
+    };
+    std::vector<TraceGroup> groups;
+    std::unordered_map<std::string, size_t> keyIndex;
+    constexpr size_t kUngrouped = static_cast<size_t>(-1);
+    std::vector<size_t> groupOf(points.size(), kUngrouped);
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!batchable(points[i].opt))
+            continue;
+        const auto [it, inserted] =
+            keyIndex.emplace(fw_.traceKey(points[i].opt), groups.size());
+        if (inserted) {
+            groups.emplace_back();
+            groups.back().firstPoint = i;
+        }
+        groupOf[i] = it->second;
+    }
+
+    // Phase A: one shared trace + prep per group. Tracing goes
+    // through the process-wide cache (concurrent same-key requests
+    // from other sweeps still coalesce).
+    parallelFor(groups.size(), jobs, [&](size_t g) {
+        TraceGroup &grp = groups[g];
+        grp.module =
+            fw_.traceShared(points[grp.firstPoint].opt, grp.stats);
+        grp.prep = buildTracePrep(*grp.module);
+    });
+
+    // Phase B: every point against its group's immutable shared state,
+    // with per-worker reusable scratch.
     parallelFor(points.size(), jobs, [&](size_t i) {
-        out[i] = evaluate(points[i].opt, points[i].cores,
-                          points[i].label);
+        if (groupOf[i] == kUngrouped) {
+            out[i] = evaluateLegacy(points[i].opt, points[i].cores,
+                                    points[i].label);
+            return;
+        }
+        const TraceGroup &grp = groups[groupOf[i]];
+        out[i] = evaluatePoint(fw_, *grp.module, grp.prep,
+                               points[i].opt, points[i].cores,
+                               points[i].label, grp.stats,
+                               workerScratch());
+    });
+    return out;
+}
+
+std::vector<DsePoint>
+Explorer::evaluateAllUngrouped(const std::vector<DseRequest> &points,
+                               int jobs) const
+{
+    std::vector<DsePoint> out(points.size());
+    parallelFor(points.size(), jobs, [&](size_t i) {
+        out[i] = evaluateLegacy(points[i].opt, points[i].cores,
+                                points[i].label);
     });
     return out;
 }
@@ -75,12 +249,13 @@ DsePoint
 Explorer::evaluateModule(const Module &m, const PipelineModel &hw,
                          int cores, const std::string &label) const
 {
-    DsePoint p;
-    p.label = label;
-    p.hw = hw;
-    p.cores = cores;
-    fillMetrics(p, fw_, runBackend(m, hw, true), cores);
-    return p;
+    const TracePrep prep = buildTracePrep(m);
+    OptStats stats;
+    stats.instrsBefore = stats.instrsAfter = m.size();
+    CompileOptions opt;
+    opt.hw = hw;
+    return evaluatePoint(fw_, m, prep, opt, cores, label, stats,
+                         workerScratch());
 }
 
 std::vector<int>

@@ -71,29 +71,46 @@ class Explorer
     const Framework &framework() const { return fw_; }
 
     /**
-     * Compile + simulate + model one design point. Compilation goes
-     * through the process-wide front-end trace cache, so a sweep that
-     * varies only the hardware model re-runs just the backend stages.
+     * Compile + simulate + model one design point. The front end goes
+     * through the process-wide trace cache and the backend runs on the
+     * batched engine against the shared (un-cloned) cached trace, so a
+     * sweep that varies only the hardware model re-runs just the
+     * backend stages and never deep-copies the trace module.
      */
     DsePoint evaluate(const CompileOptions &opt, int cores,
                       const std::string &label) const;
 
     /**
      * Evaluate many design points concurrently on @p jobs worker
-     * threads (0 = hardware concurrency, 1 = serial inline). Results
-     * come back index-aligned with @p points, and every point is
-     * evaluated by the same deterministic, RNG-free path as
+     * threads (0 = hardware concurrency, 1 = serial inline). Requests
+     * are grouped by front-end trace key: each group's trace is
+     * obtained (cached, shared, un-cloned) and prepped exactly once,
+     * then every worker evaluates points against the shared immutable
+     * (TracePrep, module) with its own reusable BackendScratch.
+     * Results come back index-aligned with @p points, and every point
+     * is evaluated by the same deterministic, RNG-free computation as
      * evaluate(), so the output is identical for any jobs value --
-     * only wall-clock time changes. Concurrent points sharing a
-     * front-end trace key coalesce onto one trace in the process-wide
-     * cache.
+     * only wall-clock time changes.
      */
     std::vector<DsePoint> evaluateAll(const std::vector<DseRequest> &points,
                                       int jobs = 0) const;
 
     /**
+     * Reference oracle for the grouped engine: the pre-batching
+     * per-point path (every point independently clones the cached
+     * trace and runs the full backend PassManager). Deterministic
+     * fields must match evaluateAll exactly; tests and benches
+     * enforce this.
+     */
+    std::vector<DsePoint>
+    evaluateAllUngrouped(const std::vector<DseRequest> &points,
+                         int jobs = 0) const;
+
+    /**
      * Evaluate a hardware model against an already-traced module
-     * (reuses the front end across a hardware sweep).
+     * (reuses the front end across a hardware sweep). Runs the
+     * batched backend engine against @p m by const reference -- no
+     * module copy.
      */
     DsePoint evaluateModule(const Module &m, const PipelineModel &hw,
                             int cores, const std::string &label) const;
@@ -138,6 +155,9 @@ class Explorer
     static double score(const DsePoint &p, Objective objective);
 
   private:
+    DsePoint evaluateLegacy(const CompileOptions &opt, int cores,
+                            const std::string &label) const;
+
     Framework fw_;
     std::string curve_;
 };

@@ -63,19 +63,37 @@ EncodedProgram::disassemble(size_t maxWords) const
     return os.str();
 }
 
+EncodingLayout
+encodingLayout(const BankAssignment &banks, const RegAssignment &regs,
+               const Schedule &sched, const PipelineModel &hw)
+{
+    EncodingLayout lay;
+    lay.bankBits = bitsFor(banks.numBanks - 1);
+    lay.regBits =
+        std::max(bitsFor(std::max<i32>(regs.maxRegs() - 1, 1)), 1);
+    const int fieldBits = lay.bankBits + lay.regBits;
+    lay.wordBits = lay.opBits + 3 * fieldBits <= 32 ? 32 : 64;
+    FINESSE_REQUIRE(lay.opBits + 3 * fieldBits <= 64,
+                    "register pressure exceeds 64-bit encoding");
+    lay.numBundles = sched.bundles.size();
+    lay.numWords =
+        lay.numBundles * static_cast<size_t>(hw.issueWidth);
+    return lay;
+}
+
 EncodedProgram
 encodeProgram(const CompiledProgram &prog)
 {
     const Module &m = prog.module;
+    const EncodingLayout lay =
+        encodingLayout(prog.banks, prog.regs, prog.schedule, prog.hw);
     EncodedProgram enc;
     enc.issueWidth = prog.hw.issueWidth;
-    enc.bankBits = bitsFor(prog.banks.numBanks - 1);
-    enc.regBits =
-        std::max(bitsFor(std::max<i32>(prog.regs.maxRegs() - 1, 1)), 1);
+    enc.opBits = lay.opBits;
+    enc.bankBits = lay.bankBits;
+    enc.regBits = lay.regBits;
+    enc.wordBits = lay.wordBits;
     const int fieldBits = enc.bankBits + enc.regBits;
-    enc.wordBits = enc.opBits + 3 * fieldBits <= 32 ? 32 : 64;
-    FINESSE_REQUIRE(enc.opBits + 3 * fieldBits <= 64,
-                    "register pressure exceeds 64-bit encoding");
 
     auto loc = [&](i32 valueId) {
         return RegLoc{prog.banks.bankOf[valueId],

@@ -57,6 +57,30 @@ struct EncodedProgram
     std::string disassemble(size_t maxWords = 32) const;
 };
 
+/**
+ * Word-format layout of an encoding without materializing it: field
+ * widths, word width and the IMem footprint, including the
+ * register-pressure encoding check. encodeProgram() derives its
+ * format from exactly this, so the batched DSE path (which only needs
+ * imemBits for the area model) and the full encoder cannot disagree.
+ */
+struct EncodingLayout
+{
+    int opBits = 5;
+    int bankBits = 0;
+    int regBits = 0;
+    int wordBits = 32; ///< 32 or 64
+    size_t numBundles = 0;
+    size_t numWords = 0; ///< numBundles x issueWidth
+
+    size_t imemBits() const { return numWords * static_cast<size_t>(wordBits); }
+};
+
+EncodingLayout encodingLayout(const BankAssignment &banks,
+                              const RegAssignment &regs,
+                              const Schedule &sched,
+                              const PipelineModel &hw);
+
 /** Encode a compiled program. */
 EncodedProgram encodeProgram(const CompiledProgram &prog);
 

@@ -3,41 +3,46 @@
  * Cycle-accurate simulator implementation. Issue rules are shared with
  * the scheduler through compiler/ports.h, so simulated timing and
  * scheduled timing can only diverge through in-order head-of-line
- * blocking, which this simulator models explicitly.
+ * blocking, which this simulator models explicitly. One template
+ * replay loop serves both trackers: the dense production PortTracker
+ * (optionally running out of a sweep worker's BackendScratch) and the
+ * LegacyPortTracker reference oracle.
  */
 #include "sim/cycle.h"
 
+#include "compiler/backendprep.h"
 #include "compiler/ports.h"
 
 namespace finesse {
 
-CycleStats
-simulateCycles(const CompiledProgram &prog, i64 windowStart, i64 windowLen)
-{
-    const Module &m = prog.module;
-    const PipelineModel &hw = prog.hw;
+namespace {
 
+template <typename Tracker>
+CycleStats
+replay(const Module &m, const BankAssignment &banks,
+       const Schedule &sched, const PipelineModel &hw, i64 windowStart,
+       i64 windowLen, Tracker &ports, std::vector<i64> &readyAt,
+       std::vector<PortOp> &pops)
+{
     CycleStats stats;
     stats.instrs = m.body.size();
 
-    std::vector<i64> readyAt(m.numValues, 0);
-    PortTracker ports(hw);
+    readyAt.assign(static_cast<size_t>(m.numValues), 0);
 
     i64 cycle = 0;
     i64 lastWriteback = 0;
 
-    for (const Bundle &bundle : prog.schedule.bundles) {
+    for (const Bundle &bundle : sched.bundles) {
         // Dependence stall: every op's operands must be ready.
         i64 t = cycle;
-        std::vector<PortOp> pops;
-        pops.reserve(bundle.instIdx.size());
+        pops.clear();
         for (i32 idx : bundle.instIdx) {
             const Inst &inst = m.body[idx];
             if (arity(inst.op) >= 1)
                 t = std::max(t, readyAt[inst.a]);
             if (arity(inst.op) >= 2)
                 t = std::max(t, readyAt[inst.b]);
-            pops.push_back(makePortOp(inst, prog.banks.bankOf));
+            pops.push_back(makePortOp(inst, banks.bankOf));
         }
         // Structural stall: ports/units/write-back.
         while (!ports.canIssueBundle(pops, t))
@@ -81,6 +86,45 @@ simulateCycles(const CompiledProgram &prog, i64 windowStart, i64 windowLen)
     stats.totalCycles = done;
     stats.maxFifoDefer = ports.maxFifoDefer();
     return stats;
+}
+
+} // namespace
+
+CycleStats
+simulateCycles(const Module &m, const BankAssignment &banks,
+               const Schedule &sched, const PipelineModel &hw,
+               i64 windowStart, i64 windowLen, BackendScratch *scratch)
+{
+    if (scratch) {
+        scratch->simPorts.reset(hw);
+        return replay(m, banks, sched, hw, windowStart, windowLen,
+                      scratch->simPorts, scratch->simReadyAt,
+                      scratch->pops);
+    }
+    PortTracker ports(hw);
+    std::vector<i64> readyAt;
+    std::vector<PortOp> pops;
+    return replay(m, banks, sched, hw, windowStart, windowLen, ports,
+                  readyAt, pops);
+}
+
+CycleStats
+simulateCycles(const CompiledProgram &prog, i64 windowStart,
+               i64 windowLen)
+{
+    return simulateCycles(prog.module, prog.banks, prog.schedule,
+                          prog.hw, windowStart, windowLen, nullptr);
+}
+
+CycleStats
+simulateCyclesReference(const CompiledProgram &prog, i64 windowStart,
+                        i64 windowLen)
+{
+    LegacyPortTracker ports(prog.hw);
+    std::vector<i64> readyAt;
+    std::vector<PortOp> pops;
+    return replay(prog.module, prog.banks, prog.schedule, prog.hw,
+                  windowStart, windowLen, ports, readyAt, pops);
 }
 
 } // namespace finesse

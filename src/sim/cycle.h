@@ -42,12 +42,34 @@ struct CycleStats
     }
 };
 
+struct BackendScratch; // compiler/backendprep.h
+
 /**
  * Replay @p prog on its pipeline model. @p windowStart / @p windowLen
  * select the sampled issue-trace window (cycles).
  */
 CycleStats simulateCycles(const CompiledProgram &prog,
                           i64 windowStart = 10000, i64 windowLen = 64);
+
+/**
+ * Piece-wise overload for the batched DSE path: simulates a schedule
+ * against a shared, read-only module without requiring an owning
+ * CompiledProgram. A non-null @p scratch reuses that worker's replay
+ * buffers and dense port tracker (reset, not reallocated).
+ */
+CycleStats simulateCycles(const Module &m, const BankAssignment &banks,
+                          const Schedule &sched, const PipelineModel &hw,
+                          i64 windowStart = 10000, i64 windowLen = 64,
+                          BackendScratch *scratch = nullptr);
+
+/**
+ * Reference replay on the LegacyPortTracker oracle (identity tests
+ * only; production simulation uses the dense tracker -- the same one
+ * the scheduler issues against, so the two views cannot diverge).
+ */
+CycleStats simulateCyclesReference(const CompiledProgram &prog,
+                                   i64 windowStart = 10000,
+                                   i64 windowLen = 64);
 
 } // namespace finesse
 

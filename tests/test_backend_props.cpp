@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "compiler/backendprep.h"
 #include "compiler/passes.h"
 #include "core/framework.h"
 #include "sim/binary.h"
@@ -136,6 +137,168 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<HwCase> &info) {
         return info.param.name;
     });
+
+/**
+ * Full identity check of one (module, hw, mode) point: the dense
+ * batched engine (TracePrep + BackendScratch + dense PortTracker)
+ * must reproduce the legacy Module-walking reference -- schedule
+ * (issueCycle, bundles, estimatedCycles), register assignment,
+ * encoding layout and cycle-simulation results (dense tracker vs
+ * legacy map tracker) -- bit for bit.
+ */
+void
+expectEnginesIdentical(const Module &m, const TracePrep &prep,
+                       const PipelineModel &hw, bool listSched,
+                       BackendScratch &scratch, const char *what)
+{
+    SCOPED_TRACE(std::string(what) +
+                 (listSched ? " listSched" : " init"));
+    // Prep invariants: defInst names each value's defining body index
+    // and numReads mirrors op arity.
+    for (size_t i = 0; i < m.body.size(); ++i) {
+        EXPECT_EQ(m.body[prep.defInst[m.body[i].dst]].dst,
+                  m.body[i].dst);
+        EXPECT_EQ(int(prep.numReads[i]), arity(m.body[i].op));
+        EXPECT_EQ(UnitClass(prep.unit[i]), unitOf(m.body[i].op));
+    }
+    const BankAssignment banks = assignBanks(m, hw);
+    const Schedule ref = scheduleModuleReference(m, banks, hw, listSched);
+    const RegAssignment refRegs = allocateRegisters(m, banks, ref);
+
+    // Wrapper entry point (per-call prep).
+    EXPECT_EQ(scheduleModule(m, banks, hw, listSched), ref);
+
+    // Batched entry point (shared prep, reused scratch).
+    BackendPoint bp;
+    runBackendPoint(m, prep, hw, listSched, scratch, bp);
+    EXPECT_EQ(bp.banks, banks);
+    EXPECT_EQ(bp.schedule, ref);
+    EXPECT_EQ(bp.regs, refRegs);
+
+    CompiledProgram prog;
+    prog.module = m;
+    prog.banks = banks;
+    prog.schedule = ref;
+    prog.regs = refRegs;
+    prog.hw = hw;
+    EXPECT_EQ(bp.imemBits, encodeProgram(prog).imemBits());
+
+    // Cycle simulation: legacy map tracker vs dense tracker, both the
+    // standalone and the scratch-reusing entry points.
+    const CycleStats simRef = simulateCyclesReference(prog);
+    const CycleStats simDense = simulateCycles(prog);
+    const CycleStats simScratch = simulateCycles(
+        m, bp.banks, bp.schedule, hw, 10000, 64, &scratch);
+    for (const CycleStats *sim : {&simDense, &simScratch}) {
+        EXPECT_EQ(sim->totalCycles, simRef.totalCycles);
+        EXPECT_EQ(sim->issueCycles, simRef.issueCycles);
+        EXPECT_EQ(sim->bubbles, simRef.bubbles);
+        EXPECT_EQ(sim->maxFifoDefer, simRef.maxFifoDefer);
+        EXPECT_EQ(sim->instrs, simRef.instrs);
+    }
+}
+
+TEST_P(BackendProperty, DenseEngineMatchesReferenceOracle)
+{
+    const HwCase &hc = GetParam();
+    PipelineModel hw;
+    hw.issueWidth = hc.issueWidth;
+    hw.numLinUnits = hc.linUnits;
+    hw.numBanks = hc.banks;
+    hw.longLat = hc.longLat;
+    hw.shortLat = hc.shortLat;
+    hw.writebackFifo = hc.fifo;
+
+    Rng rng(0x5eed + hc.issueWidth * 17 + hc.banks);
+    BackendScratch scratch; // reused across trials, like a sweep worker
+    for (int trial = 0; trial < 6; ++trial) {
+        const Module m =
+            randomModule(rng, 3, 150 + int(rng.below(250)));
+        const TracePrep prep = buildTracePrep(m);
+        for (bool listSched : {false, true})
+            expectEnginesIdentical(m, prep, hw, listSched, scratch,
+                                   hc.name);
+    }
+}
+
+TEST(BackendEngineIdentity, CatalogTracesScheduleIdentically)
+{
+    // Catalog-wide: every curve's optimized full-pairing trace,
+    // against a deep single-issue model and a VLIW model, in both
+    // scheduling modes, with one scratch reused throughout (the sweep
+    // worker pattern). Traces come from the process-wide cache, so
+    // repeats across the test binary stay cheap.
+    PipelineModel vliw;
+    vliw.longLat = 8;
+    vliw.shortLat = 2;
+    vliw.issueWidth = 3;
+    vliw.numLinUnits = 2;
+    vliw.numBanks = 3;
+    vliw.writebackFifo = true;
+
+    BackendScratch scratch;
+    for (const CurveDef &def : curveCatalog()) {
+        Framework fw(def.name);
+        OptStats stats;
+        const std::shared_ptr<const Module> trace =
+            fw.traceShared(CompileOptions{}, stats);
+        const TracePrep prep = buildTracePrep(*trace);
+        EXPECT_EQ(prep.mulInstrs, trace->countUnit(UnitClass::Mul));
+        EXPECT_EQ(prep.linInstrs, trace->countUnit(UnitClass::Linear));
+        for (const PipelineModel &hw : {PipelineModel{}, vliw}) {
+            for (bool listSched : {false, true})
+                expectEnginesIdentical(*trace, prep, hw, listSched,
+                                       scratch, def.name.c_str());
+        }
+    }
+}
+
+TEST(BackendEngineIdentity, InvOpsAndDeepFifoWindows)
+{
+    // Inversion latency (900 cycles) forces the widest reservation
+    // window the dense tracker sizes; make sure a module with Inv ops
+    // still matches the reference in both modes.
+    Module m;
+    m.p = BigInt::fromString("0x1000000000000000000000000000000d1");
+    std::vector<i32> live;
+    for (int i = 0; i < 2; ++i) {
+        const i32 raw = m.numValues++;
+        m.inputs.push_back(raw);
+        const i32 conv = m.numValues++;
+        m.body.push_back({Op::Icv, conv, raw, -1});
+        live.push_back(conv);
+    }
+    Rng rng(0x111);
+    const Op ops[] = {Op::Add, Op::Mul, Op::Inv, Op::Sub, Op::Sqr,
+                      Op::Inv, Op::Dbl};
+    for (int i = 0; i < 120; ++i) {
+        const Op op = ops[rng.below(sizeof(ops) / sizeof(ops[0]))];
+        const i32 a = live[rng.below(live.size())];
+        const i32 b = live[rng.below(live.size())];
+        const i32 dst = m.numValues++;
+        m.body.push_back({op, dst, a, arity(op) >= 2 ? b : -1});
+        live.push_back(dst);
+    }
+    const i32 out = m.numValues++;
+    m.body.push_back({Op::Cvt, out, live.back(), -1});
+    m.outputs.push_back(out);
+    m.verify();
+
+    PipelineModel fifo;
+    fifo.issueWidth = 2;
+    fifo.numLinUnits = 2;
+    fifo.numBanks = 2;
+    fifo.writebackFifo = true;
+    fifo.fifoDepth = 16;
+
+    const TracePrep prep = buildTracePrep(m);
+    BackendScratch scratch;
+    for (const PipelineModel &hw : {PipelineModel{}, fifo}) {
+        for (bool listSched : {false, true})
+            expectEnginesIdentical(m, prep, hw, listSched, scratch,
+                                   "inv");
+    }
+}
 
 TEST(BackendEdge, EmptyishModule)
 {

@@ -148,6 +148,54 @@ TEST(ParallelDse, EvaluateAllMatchesSerialAcrossJobs)
     }
 }
 
+TEST(ParallelDse, GroupedEvaluateAllMatchesUngroupedAcrossJobs)
+{
+    // The batched engine (grouped by trace key, shared TracePrep,
+    // per-worker scratch) against the pre-batching per-point oracle
+    // (every point clones the cached trace and runs the full backend
+    // PassManager): deterministic fields must be bit-identical for
+    // every jobs value. This test is part of the TSan workload -- the
+    // grouped path shares immutable trace/prep state across workers.
+    Explorer ex("BN254N");
+    std::vector<PipelineModel> models;
+    models.emplace_back(); // single-issue deep
+    {
+        PipelineModel vliw;
+        vliw.longLat = 8;
+        vliw.shortLat = 2;
+        vliw.issueWidth = 3;
+        vliw.numLinUnits = 2;
+        vliw.numBanks = 3;
+        vliw.writebackFifo = true;
+        models.push_back(vliw);
+    }
+    std::vector<DseRequest> reqs;
+    for (const VariantConfig &cfg : ex.variantSpace(true)) {
+        for (const PipelineModel &hw : models) {
+            for (bool listSched : {true, false}) {
+                DseRequest req;
+                req.opt.variants = cfg;
+                req.opt.hw = hw;
+                req.opt.listSchedule = listSched;
+                req.label = "pt";
+                reqs.push_back(std::move(req));
+            }
+        }
+    }
+
+    const std::vector<DsePoint> ref = ex.evaluateAllUngrouped(reqs, 1);
+    ASSERT_EQ(ref.size(), reqs.size());
+    for (int jobs : {1, 2, 8}) {
+        const std::vector<DsePoint> got = ex.evaluateAll(reqs, jobs);
+        ASSERT_EQ(got.size(), ref.size()) << "jobs " << jobs;
+        for (size_t i = 0; i < ref.size(); ++i) {
+            SCOPED_TRACE("jobs " + std::to_string(jobs) + " point " +
+                         std::to_string(i));
+            expectSamePoint(ref[i], got[i]);
+        }
+    }
+}
+
 TEST(ParallelDse, ExploreVariantsSameBestPointAcrossJobs)
 {
     Explorer ex("BN254N");
