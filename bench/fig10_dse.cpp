@@ -25,6 +25,7 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "dse/distributor.h"
 #include "dse/explorer.h"
 #include "support/threadpool.h"
 
@@ -43,8 +44,13 @@ wallSeconds(const std::chrono::steady_clock::time_point &t0)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // This bench is its own distributed-sweep worker pool: the master
+    // re-executes the binary as `<self> dse-worker` for each worker.
+    if (const std::optional<int> rc = maybeRunDseWorkerMain(argc, argv))
+        return *rc;
+
     banner("Figure 10: DSE over variants x pipeline configs");
     const char *curve = fastMode() ? "BN254N" : "BLS24-509";
     Explorer ex(curve);
@@ -117,13 +123,37 @@ main()
     const double parallelSeconds = wallSeconds(t2);
     const TraceCacheStats cache = traceCacheStats();
 
-    // Determinism contract: the parallel sweep is bit-identical.
-    size_t mismatches = 0;
+    // Distributed leg: the same sweep fanned out over worker
+    // SUBPROCESSES (multi-process engine, dse/distributor.h). Worker
+    // processes trace from their own cold caches, so this measures
+    // the full remote cost: wire round trip + per-worker front end +
+    // batched backend. Must be bit-identical like every other leg.
+    const int dseWorkers = 2;
+    DistributorStats dstats;
+    DistributorOptions dopts;
+    dopts.stats = &dstats;
+    const auto t3 = std::chrono::steady_clock::now();
+    const std::vector<DsePoint> dist =
+        ex.evaluateAllDistributed(reqs, dseWorkers, dopts);
+    const double distributedSeconds = wallSeconds(t3);
+
+    // Determinism contract: the parallel and distributed sweeps are
+    // bit-identical to the serial one. Counted per leg (parallel /
+    // warm / distributed) so an identity failure in CI names the
+    // engine that diverged.
+    size_t parallelMismatches = 0;
+    size_t distributedMismatches = 0;
     for (size_t i = 0; i < points.size(); ++i) {
         if (points[i].cycles != serial[i].cycles ||
             points[i].instrs != serial[i].instrs)
-            ++mismatches;
+            ++parallelMismatches;
+        if (dist[i].cycles != serial[i].cycles ||
+            dist[i].instrs != serial[i].instrs ||
+            dist[i].ipc != serial[i].ipc ||
+            dist[i].areaMm2 != serial[i].areaMm2)
+            ++distributedMismatches;
     }
+    const size_t mismatches = parallelMismatches + distributedMismatches;
 
     TextTable t;
     std::vector<std::string> header = {"Variant combo"};
@@ -181,11 +211,19 @@ main()
         "batched backend for all %zu points).\n"
         "Sweep: %zu points | serial %.2f s (front end %.2f s + "
         "backend %.2f s) | parallel %.2f s on %d workers | speedup "
-        "%.2fx | %zu determinism mismatches\n",
+        "%.2fx | %zu parallel + %zu warm mismatches\n"
+        "Distributed: %.2f s on %d worker processes (%zu groups, "
+        "%d spawned, %d deaths) | speedup %.2fx vs serial | %zu "
+        "mismatches\n",
         cache.misses, cache.hits, cache.coalesced, points.size(),
         points.size(), serialSeconds, frontendSerialSeconds,
         backendSerialSeconds, parallelSeconds, jobs, speedup,
-        mismatches + warmMismatches);
+        parallelMismatches, warmMismatches, distributedSeconds,
+        dseWorkers, dstats.groups, dstats.workersSpawned,
+        dstats.workerDeaths,
+        distributedSeconds > 0 ? serialSeconds / distributedSeconds
+                               : 0.0,
+        distributedMismatches);
 
     BenchJson json;
     json.str("bench", "fig10_dse")
@@ -197,6 +235,17 @@ main()
         .num("backend_serial_seconds", backendSerialSeconds)
         .num("parallel_seconds", parallelSeconds)
         .num("speedup", speedup)
+        .count("dse_workers", static_cast<size_t>(dseWorkers))
+        .num("distributed_seconds", distributedSeconds)
+        .num("distributed_speedup",
+             distributedSeconds > 0 ? serialSeconds / distributedSeconds
+                                    : 0.0)
+        .count("distributed_groups", dstats.groups)
+        .count("distributed_worker_deaths",
+               static_cast<size_t>(dstats.workerDeaths))
+        .count("parallel_mismatches", parallelMismatches)
+        .count("warm_mismatches", warmMismatches)
+        .count("distributed_mismatches", distributedMismatches)
         .count("trace_misses", cache.misses)
         .count("trace_hits", cache.hits)
         .count("trace_coalesced", cache.coalesced)

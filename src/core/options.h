@@ -14,6 +14,8 @@
  *                         true)
  *   jobs                  sweep worker threads (0 = hardware
  *                         concurrency, 1 = serial; default 0)
+ *   dse_workers           sweep worker SUBPROCESSES (multi-process
+ *                         fan-out; 0 = in-process on `jobs` threads)
  *   hw.long_lat, hw.short_lat, hw.inv_lat        itineraries
  *   hw.issue_width, hw.lin_units, hw.banks       datapath shape
  *   hw.fifo, hw.fifo_depth, hw.beta              write-back / affinity
@@ -47,6 +49,8 @@ optionsFromConfig(const Config &cfg)
     opt.useTraceCache = cfg.getBool("trace_cache", true);
     opt.jobs = static_cast<int>(cfg.getInt("jobs", 0));
     FINESSE_REQUIRE(opt.jobs >= 0, "jobs must be >= 0");
+    opt.dseWorkers = static_cast<int>(cfg.getInt("dse_workers", 0));
+    FINESSE_REQUIRE(opt.dseWorkers >= 0, "dse_workers must be >= 0");
 
     const std::string part = cfg.getString("part", "full");
     if (part == "miller")

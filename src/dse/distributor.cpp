@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Master/worker implementation of the distributed sweep.
+ *
+ * Master: groups requests by front-end trace key (non-batchable
+ * requests become singleton groups), spawns worker subprocesses, and
+ * runs a poll() loop with one in-flight group per worker. A worker
+ * that hits EOF or poisons its stream (bad frame) is declared dead:
+ * its in-flight group is re-queued at the FRONT of the pending list
+ * (bounded by maxGroupRetries) and handed to the next idle live
+ * worker. Results are scattered into the output by original request
+ * index, so the merge is the same index-ordered reduction as
+ * Explorer::evaluateAll.
+ *
+ * Worker: a blocking read loop; each GroupRequest is evaluated with
+ * Explorer::evaluateAll(requests, jobs=1) -- the batched TracePrep/
+ * BackendScratch path -- and answered with one GroupResult frame.
+ */
+#include "dse/distributor.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "dse/wire.h"
+#include "support/subprocess.h"
+
+namespace finesse {
+
+namespace {
+
+/** Env var that makes a worker SIGKILL itself on its first group. */
+constexpr const char *kKillEnv = "FINESSE_DSE_KILL9";
+
+bool
+writeFd(int fd, const std::vector<u8> &bytes)
+{
+    return writeAllFd(fd, bytes.data(), bytes.size());
+}
+
+struct WorkerState
+{
+    Subprocess proc;
+    wire::FrameBuffer frames;
+    bool alive = false;
+    long inFlight = -1; ///< group id, -1 = idle
+};
+
+} // namespace
+
+std::vector<DsePoint>
+distributeEvaluate(const std::string &curve,
+                   const std::vector<DseRequest> &points, int workers,
+                   const DistributorOptions &opts)
+{
+    FINESSE_REQUIRE(workers >= 1, "dse workers must be >= 1");
+    DistributorStats localStats;
+    DistributorStats &stats = opts.stats ? *opts.stats : localStats;
+    std::vector<DsePoint> out(points.size());
+    if (points.empty())
+        return out;
+
+    // Group by front-end trace key (groupByTraceKey: the SAME
+    // grouping the in-process engine applies) so one dispatch
+    // amortizes the worker-side trace + prep across every point that
+    // shares it. Requests the batched engine would not group
+    // (non-standard backend pipeline, cache disabled) ride as
+    // singleton groups; the worker's evaluateAll applies the same
+    // split, so the evaluation path per point is identical either
+    // way.
+    struct Group
+    {
+        std::vector<size_t> indices;
+        int retries = 0;
+    };
+    std::vector<Group> groups;
+    {
+        GroupedRequests grouping = groupByTraceKey(curve, points);
+        groups.reserve(grouping.byKey.size() +
+                       grouping.ungrouped.size());
+        for (std::vector<size_t> &indices : grouping.byKey)
+            groups.push_back({std::move(indices), 0});
+        for (size_t i : grouping.ungrouped)
+            groups.push_back({{i}, 0});
+    }
+    stats.groups = groups.size();
+
+    std::vector<std::string> cmd = opts.workerCommand;
+    if (cmd.empty())
+        cmd = {selfExePath(), "dse-worker"};
+
+    const int n =
+        static_cast<int>(std::min<size_t>(static_cast<size_t>(workers),
+                                          groups.size()));
+    std::vector<WorkerState> pool(static_cast<size_t>(n));
+    for (int w = 0; w < n; ++w) {
+        std::vector<std::string> env;
+        if (opts.killAllWorkers || w == opts.killWorkerIndex)
+            env.push_back(std::string(kKillEnv) + "=1");
+        pool[static_cast<size_t>(w)].proc.spawn(cmd, env);
+        pool[static_cast<size_t>(w)].alive = true;
+        ++stats.workersSpawned;
+    }
+
+    std::deque<size_t> pending;
+    for (size_t g = 0; g < groups.size(); ++g)
+        pending.push_back(g);
+    size_t completed = 0;
+
+    auto dispatchTo = [&](WorkerState &ws) -> bool {
+        if (pending.empty())
+            return true;
+        const size_t g = pending.front();
+        pending.pop_front();
+        ws.inFlight = static_cast<long>(g);
+        wire::GroupRequest msg;
+        msg.curve = curve;
+        msg.groupId = g;
+        msg.requests.reserve(groups[g].indices.size());
+        for (size_t idx : groups[g].indices)
+            msg.requests.push_back(points[idx]);
+        const std::vector<u8> frame = encodeGroupRequest(msg);
+        return ws.proc.writeAll(frame.data(), frame.size());
+    };
+
+    // Declared dead: reap, and re-queue the in-flight group (front of
+    // the queue, so a re-dispatched group is never starved by the
+    // remaining backlog). Bounded per group; a group that keeps
+    // killing workers is an error, not an infinite loop.
+    auto declareDead = [&](WorkerState &ws) {
+        ws.proc.kill(SIGKILL);
+        ws.proc.wait();
+        ws.alive = false;
+        ++stats.workerDeaths;
+        if (ws.inFlight >= 0) {
+            const size_t g = static_cast<size_t>(ws.inFlight);
+            ws.inFlight = -1;
+            if (++groups[g].retries > opts.maxGroupRetries)
+                fatal("distributed sweep: group ", g, " failed after ",
+                      opts.maxGroupRetries, " re-dispatches");
+            pending.push_front(g);
+            ++stats.redispatches;
+        }
+    };
+
+    // Initial dispatch: one group per worker. A write failure here
+    // (worker died instantly) is handled like any later death.
+    for (WorkerState &ws : pool) {
+        if (!dispatchTo(ws))
+            declareDead(ws);
+    }
+
+    std::vector<u8> chunk(1 << 16);
+    while (completed < groups.size()) {
+        std::vector<pollfd> fds;
+        std::vector<size_t> fdWorker;
+        for (size_t w = 0; w < pool.size(); ++w) {
+            if (!pool[w].alive)
+                continue;
+            fds.push_back({pool[w].proc.stdoutFd(), POLLIN, 0});
+            fdWorker.push_back(w);
+        }
+        if (fds.empty())
+            fatal("distributed sweep: all ", n, " workers died (",
+                  groups.size() - completed, " groups unfinished)");
+
+        int rc;
+        do {
+            rc = ::poll(fds.data(), fds.size(), -1);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0)
+            fatal("distributed sweep: poll: ", std::strerror(errno));
+
+        for (size_t f = 0; f < fds.size(); ++f) {
+            if (fds[f].revents == 0)
+                continue;
+            WorkerState &ws = pool[fdWorker[f]];
+            const long r =
+                ws.proc.readSome(chunk.data(), chunk.size());
+            if (r <= 0) {
+                declareDead(ws);
+                continue;
+            }
+            ws.frames.append(chunk.data(), static_cast<size_t>(r));
+
+            // Drain complete frames. The try block only PARSES: a
+            // decode failure poisons the stream, nothing more --
+            // declareDead (whose retry-exhaustion FatalError must
+            // propagate to the caller) runs strictly outside it. A
+            // WorkerError frame is a DETERMINISTIC failure a retry
+            // cannot fix -> propagate too.
+            std::optional<std::string> workerError;
+            std::vector<wire::GroupResult> results;
+            bool poisoned = false;
+            try {
+                wire::Frame frame;
+                while (ws.frames.next(frame)) {
+                    if (frame.type == wire::FrameType::WorkerError) {
+                        workerError =
+                            wire::decodeWorkerError(frame.payload)
+                                .message;
+                        break;
+                    }
+                    if (frame.type != wire::FrameType::GroupRequest) {
+                        results.push_back(
+                            wire::decodeGroupResult(frame.payload));
+                        continue;
+                    }
+                    poisoned = true; // request echoed back: protocol bug
+                    break;
+                }
+            } catch (const std::exception &) {
+                // Any parse failure -- FatalError from the decoders,
+                // bad_alloc from a corrupt stream -- poisons the
+                // worker; the sweep itself survives via re-dispatch.
+                poisoned = true;
+            }
+            if (workerError)
+                fatal("dse worker failed: ", *workerError);
+
+            for (wire::GroupResult &res : results) {
+                // A result for the wrong group or with the wrong
+                // point count is protocol corruption: drop the
+                // worker, let its in-flight group re-dispatch.
+                if (ws.inFlight < 0 ||
+                    res.groupId != static_cast<u64>(ws.inFlight) ||
+                    res.points.size() !=
+                        groups[res.groupId].indices.size()) {
+                    poisoned = true;
+                    break;
+                }
+                const Group &grp = groups[res.groupId];
+                for (size_t k = 0; k < grp.indices.size(); ++k)
+                    out[grp.indices[k]] = std::move(res.points[k]);
+                ++completed;
+                ws.inFlight = -1;
+                // A worker already marked poisoned (corrupt bytes
+                // after this result) gets no new group: dispatching
+                // one would charge that group a retry no worker ever
+                // attempted.
+                if (!poisoned && !dispatchTo(ws)) {
+                    poisoned = true; // write failure == dead worker
+                    break;
+                }
+            }
+            if (poisoned)
+                declareDead(ws);
+        }
+
+        // A death may have re-queued a group while other live workers
+        // sit idle (their queue ran dry earlier): hand it over now.
+        for (WorkerState &ws : pool) {
+            if (pending.empty())
+                break;
+            if (ws.alive && ws.inFlight < 0) {
+                if (!dispatchTo(ws))
+                    declareDead(ws);
+            }
+        }
+    }
+
+    for (WorkerState &ws : pool) {
+        if (!ws.alive)
+            continue;
+        ws.proc.closeStdin(); // EOF -> worker exits its read loop
+        ws.proc.wait();
+        ws.alive = false;
+    }
+    return out;
+}
+
+int
+runDseWorker(int inFd, int outFd)
+{
+    // A master that died mid-sweep must surface as a failed write
+    // (-> clean worker exit), not as a fatal SIGPIPE.
+    ignoreSigpipe();
+    const bool kill9 = std::getenv(kKillEnv) != nullptr;
+    wire::FrameBuffer frames;
+    std::vector<u8> chunk(1 << 16);
+    u64 currentGroup = 0;
+    try {
+        for (;;) {
+            long r;
+            do {
+                r = ::read(inFd, chunk.data(), chunk.size());
+            } while (r < 0 && errno == EINTR);
+            if (r == 0)
+                return 0; // clean shutdown: master closed our stdin
+            if (r < 0)
+                fatal("dse worker: read: ", std::strerror(errno));
+            frames.append(chunk.data(), static_cast<size_t>(r));
+
+            wire::Frame frame;
+            while (frames.next(frame)) {
+                if (frame.type != wire::FrameType::GroupRequest)
+                    fatal("dse worker: unexpected frame type ",
+                          static_cast<int>(frame.type));
+                const wire::GroupRequest req =
+                    wire::decodeGroupRequest(frame.payload);
+                currentGroup = req.groupId;
+                if (kill9) {
+                    // Fault injection: die like `kill -9` mid-group,
+                    // after the master committed the dispatch.
+                    ::raise(SIGKILL);
+                }
+                Explorer ex(req.curve);
+                wire::GroupResult res;
+                res.groupId = req.groupId;
+                // Serial per group: process-level parallelism comes
+                // from N workers; identical results either way.
+                res.points = ex.evaluateAll(req.requests, 1);
+                if (!writeFd(outFd, wire::encodeGroupResult(res)))
+                    return 1; // master is gone
+            }
+        }
+    } catch (const FatalError &e) {
+        // Deterministic configuration error (unknown curve, bad
+        // options): report it so the master aborts instead of
+        // burning retries on a group that can never succeed.
+        wire::WorkerError err;
+        err.groupId = currentGroup;
+        err.message = e.what();
+        writeFd(outFd, wire::encodeWorkerError(err));
+        return 1;
+    } catch (const std::exception &e) {
+        // Possibly-transient failure (bad_alloc under memory
+        // pressure, internal panic): exit WITHOUT a WorkerError
+        // frame -- the master sees EOF and re-dispatches the group
+        // to a live worker, which may well succeed.
+        std::fprintf(stderr, "dse worker: %s\n", e.what());
+        return 1;
+    }
+}
+
+std::optional<int>
+maybeRunDseWorkerMain(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "dse-worker") == 0)
+        return runDseWorker();
+    return std::nullopt;
+}
+
+} // namespace finesse

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-process DSE fan-out: a master that ships trace-key groups of
+ * design points to worker subprocesses over pipes (Pando-style
+ * coordinator/volunteer split) and a worker loop that evaluates the
+ * groups on the in-process batched engine.
+ *
+ * Dispatch unit = one trace-key group (the PR 4 batching contract):
+ * a worker receiving a group traces its key once through its own
+ * process-wide cache and runs batched backend-only evaluation for
+ * every point, so the per-trace prep amortizes remotely exactly as it
+ * does on a local worker thread.
+ *
+ * Determinism contract: results are merged index-ordered into the
+ * caller's request order, every point is computed by the same
+ * deterministic code path as Explorer::evaluateAll, and all numeric
+ * fields cross the wire as raw bit patterns -- the distributed sweep
+ * is BIT-identical to the in-process one for any worker count,
+ * including under worker crashes (a crashed worker's in-flight group
+ * is re-dispatched to a live worker, bounded retries, then error).
+ */
+#ifndef FINESSE_DSE_DISTRIBUTOR_H_
+#define FINESSE_DSE_DISTRIBUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.h"
+
+namespace finesse {
+
+/** Observability counters of one distributed sweep (tests assert on
+ *  the crash/re-dispatch path through these). */
+struct DistributorStats
+{
+    int workersSpawned = 0;
+    int workerDeaths = 0;  ///< EOF/decode failure before group result
+    int redispatches = 0;  ///< in-flight groups re-queued after a death
+    size_t groups = 0;     ///< trace-key groups dispatched
+};
+
+/** Knobs of the distributed sweep (defaults are production behavior). */
+struct DistributorOptions
+{
+    /**
+     * Worker command line; empty means re-exec the current binary as
+     * `<self> dse-worker` (see maybeRunDseWorkerMain). Override to
+     * point at another evaluator binary that speaks the wire protocol.
+     */
+    std::vector<std::string> workerCommand;
+
+    /** Re-dispatches allowed per group after worker deaths. */
+    int maxGroupRetries = 2;
+
+    /** Collects counters when non-null. */
+    DistributorStats *stats = nullptr;
+
+    // Fault-injection hooks (tests only): the selected workers are
+    // spawned with FINESSE_DSE_KILL9=1 in their environment and
+    // SIGKILL themselves on receipt of their first group -- a genuine
+    // `kill -9` mid-group, after the master committed the dispatch.
+    int killWorkerIndex = -1; ///< -1 = none
+    bool killAllWorkers = false;
+};
+
+/**
+ * Evaluate @p points for @p curve on @p workers subprocesses; the
+ * result vector is index-aligned with @p points and bit-identical to
+ * Explorer::evaluateAll on the same requests. Throws FatalError when
+ * a group exhausts its retries, when every worker is dead, or when a
+ * worker reports a deterministic error (which a retry cannot fix).
+ */
+std::vector<DsePoint>
+distributeEvaluate(const std::string &curve,
+                   const std::vector<DseRequest> &points, int workers,
+                   const DistributorOptions &opts = {});
+
+/**
+ * Worker loop: read GroupRequest frames from @p inFd until EOF,
+ * evaluate each group via Explorer::evaluateAll (serial: process-level
+ * parallelism comes from running N workers), stream GroupResult
+ * frames to @p outFd. Returns the process exit code (0 on clean EOF).
+ */
+int runDseWorker(int inFd = 0, int outFd = 1);
+
+/**
+ * Re-exec shim for binaries that act as their own worker pool: call
+ * first thing in main(); when argv[1] == "dse-worker" this runs the
+ * worker loop and returns its exit code to pass to return/exit,
+ * std::nullopt otherwise. finesse_cli, the distributed tests and the
+ * fig10 bench all dispatch through this, so the default
+ * DistributorOptions::workerCommand (self re-exec) always works.
+ */
+std::optional<int> maybeRunDseWorkerMain(int argc, char **argv);
+
+} // namespace finesse
+
+#endif // FINESSE_DSE_DISTRIBUTOR_H_

@@ -10,9 +10,11 @@
  */
 #include "dse/explorer.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "compiler/backendprep.h"
+#include "dse/distributor.h"
 #include "support/threadpool.h"
 
 namespace finesse {
@@ -51,17 +53,6 @@ fillMetrics(DsePoint &p, const Framework &fw, CompileResult &&res,
     p.throughputOps =
         cores * p.freqMHz * 1e6 / static_cast<double>(p.cycles);
     p.thptPerArea = p.throughputOps / p.areaMm2;
-}
-
-/**
- * Batchable = the standard backend stage pipeline with the trace
- * cache enabled. Anything else (stage ablations, --no-trace-cache)
- * takes the legacy per-point compile path, which honors every option.
- */
-bool
-batchable(const CompileOptions &opt)
-{
-    return opt.useTraceCache && opt.backendPasses() == backendPassNames();
 }
 
 /** Per-worker reusable backend buffers (one per thread, never shared). */
@@ -148,6 +139,36 @@ evaluatePoint(const Framework &fw, const Module &m, const TracePrep &prep,
 
 } // namespace
 
+bool
+batchableRequest(const CompileOptions &opt)
+{
+    return opt.useTraceCache && opt.backendPasses() == backendPassNames();
+}
+
+GroupedRequests
+groupByTraceKey(const std::string &curve,
+                const std::vector<DseRequest> &points)
+{
+    GroupedRequests out;
+    std::optional<Framework> fw;
+    std::unordered_map<std::string, size_t> keyIndex;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!batchableRequest(points[i].opt)) {
+            out.ungrouped.push_back(i);
+            continue;
+        }
+        if (!fw)
+            fw.emplace(curve);
+        const auto [it, inserted] =
+            keyIndex.emplace(fw->traceKey(points[i].opt),
+                             out.byKey.size());
+        if (inserted)
+            out.byKey.emplace_back();
+        out.byKey[it->second].push_back(i);
+    }
+    return out;
+}
+
 DsePoint
 Explorer::evaluateLegacy(const CompileOptions &opt, int cores,
                          const std::string &label) const
@@ -165,7 +186,7 @@ DsePoint
 Explorer::evaluate(const CompileOptions &opt, int cores,
                    const std::string &label) const
 {
-    if (!batchable(opt))
+    if (!batchableRequest(opt))
         return evaluateLegacy(opt, cores, label);
     OptStats stats;
     const std::shared_ptr<const Module> trace =
@@ -181,29 +202,22 @@ Explorer::evaluateAll(const std::vector<DseRequest> &points,
 {
     std::vector<DsePoint> out(points.size());
 
-    // Bucket batchable requests by trace key; everything else goes
-    // through the legacy per-point path in phase B.
+    // Bucket batchable requests by trace key (the shared grouping
+    // definition, groupByTraceKey); everything else goes through the
+    // legacy per-point path in phase B.
     struct TraceGroup
     {
-        size_t firstPoint = 0;
         std::shared_ptr<const Module> module;
         TracePrep prep;
         OptStats stats;
     };
-    std::vector<TraceGroup> groups;
-    std::unordered_map<std::string, size_t> keyIndex;
+    const GroupedRequests grouping = groupByTraceKey(curve_, points);
+    std::vector<TraceGroup> groups(grouping.byKey.size());
     constexpr size_t kUngrouped = static_cast<size_t>(-1);
     std::vector<size_t> groupOf(points.size(), kUngrouped);
-    for (size_t i = 0; i < points.size(); ++i) {
-        if (!batchable(points[i].opt))
-            continue;
-        const auto [it, inserted] =
-            keyIndex.emplace(fw_.traceKey(points[i].opt), groups.size());
-        if (inserted) {
-            groups.emplace_back();
-            groups.back().firstPoint = i;
-        }
-        groupOf[i] = it->second;
+    for (size_t g = 0; g < grouping.byKey.size(); ++g) {
+        for (size_t i : grouping.byKey[g])
+            groupOf[i] = g;
     }
 
     // Phase A: one shared trace + prep per group. Tracing goes
@@ -211,8 +225,8 @@ Explorer::evaluateAll(const std::vector<DseRequest> &points,
     // from other sweeps still coalesce).
     parallelFor(groups.size(), jobs, [&](size_t g) {
         TraceGroup &grp = groups[g];
-        grp.module =
-            fw_.traceShared(points[grp.firstPoint].opt, grp.stats);
+        grp.module = fw_.traceShared(points[grouping.byKey[g][0]].opt,
+                                     grp.stats);
         grp.prep = buildTracePrep(*grp.module);
     });
 
@@ -231,6 +245,21 @@ Explorer::evaluateAll(const std::vector<DseRequest> &points,
                                workerScratch());
     });
     return out;
+}
+
+std::vector<DsePoint>
+Explorer::evaluateAllDistributed(const std::vector<DseRequest> &points,
+                                 int workers) const
+{
+    return distributeEvaluate(curve_, points, workers);
+}
+
+std::vector<DsePoint>
+Explorer::evaluateAllDistributed(const std::vector<DseRequest> &points,
+                                 int workers,
+                                 const DistributorOptions &opts) const
+{
+    return distributeEvaluate(curve_, points, workers, opts);
 }
 
 std::vector<DsePoint>
@@ -382,7 +411,13 @@ Explorer::exploreVariants(const CompileOptions &base, Objective objective,
         req.label = "explored";
         reqs.push_back(std::move(req));
     }
-    const std::vector<DsePoint> points = evaluateAll(reqs, base.jobs);
+    // base.dseWorkers selects the multi-process fan-out; both engines
+    // return bit-identical, index-ordered points, so the reduction
+    // below is oblivious to where the evaluation ran.
+    const std::vector<DsePoint> points =
+        base.dseWorkers > 0
+            ? evaluateAllDistributed(reqs, base.dseWorkers)
+            : evaluateAll(reqs, base.jobs);
 
     // Stable index-ordered reduction: identical to the serial loop
     // for every jobs value (strictly-greater keeps the earliest

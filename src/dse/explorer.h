@@ -18,6 +18,8 @@
 
 namespace finesse {
 
+struct DistributorOptions; // dse/distributor.h
+
 /** One evaluated point of the design space. */
 struct DsePoint
 {
@@ -60,6 +62,36 @@ struct DseRequest
     std::string label;
 };
 
+/**
+ * True when the batched engine can group @p opt by trace key: the
+ * standard backend stage pipeline with the trace cache enabled.
+ * Anything else (stage ablations, --no-trace-cache) takes the legacy
+ * per-point compile path, which honors every option. The ONE
+ * definition shared by Explorer::evaluateAll and the multi-process
+ * distributor -- master-side grouping must never diverge from
+ * worker-side evaluation.
+ */
+bool batchableRequest(const CompileOptions &opt);
+
+/**
+ * Request indices bucketed for batched evaluation: batchable requests
+ * grouped by front-end trace key (groups in first-appearance order,
+ * indices ascending), non-batchable leftovers listed separately. The
+ * ONE grouping definition shared by Explorer::evaluateAll and the
+ * multi-process distributor -- a grouping change that reached only
+ * one of them would silently break the bit-identity contract. The
+ * curve handle is resolved lazily: a request list with no batchable
+ * entry never validates the curve (the distributor defers that to
+ * its workers).
+ */
+struct GroupedRequests
+{
+    std::vector<std::vector<size_t>> byKey;
+    std::vector<size_t> ungrouped;
+};
+GroupedRequests groupByTraceKey(const std::string &curve,
+                                const std::vector<DseRequest> &points);
+
 /** Explorer: evaluates and exhaustively searches design points. */
 class Explorer
 {
@@ -94,6 +126,25 @@ class Explorer
      */
     std::vector<DsePoint> evaluateAll(const std::vector<DseRequest> &points,
                                       int jobs = 0) const;
+
+    /**
+     * Evaluate many design points on @p workers worker SUBPROCESSES
+     * (the multi-process fan-out, dse/distributor.h): trace-key
+     * groups are shipped whole to workers over the wire protocol, so
+     * the per-trace prep amortizes remotely exactly as it does on a
+     * local worker thread. Bit-identical to evaluateAll on the same
+     * requests for any worker count, including when a worker crashes
+     * mid-group (the group is re-dispatched to a live worker).
+     */
+    std::vector<DsePoint>
+    evaluateAllDistributed(const std::vector<DseRequest> &points,
+                           int workers) const;
+
+    /** As above with explicit distributor knobs (tests/benches). */
+    std::vector<DsePoint>
+    evaluateAllDistributed(const std::vector<DseRequest> &points,
+                           int workers,
+                           const DistributorOptions &opts) const;
 
     /**
      * Reference oracle for the grouped engine: the pre-batching

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Wire protocol of the multi-process DSE fan-out: length-prefixed
+ * binary frames carrying trace-key groups of design-point requests
+ * from the master to worker subprocesses and DsePoint results back.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *     u32 magic   'FDSE' (0x45534446 on the wire)
+ *     u8  type    FrameType
+ *     u32 length  payload byte count (bounded by kMaxPayload)
+ *     u8  payload[length]
+ *
+ * Payloads are encoded with WireWriter/WireReader: fixed-width
+ * little-endian integers, doubles as raw IEEE-754 bit patterns (the
+ * distributed sweep must be BIT-identical to the in-process one, so
+ * no text round-trip is ever allowed), strings and vectors as a u32
+ * count followed by the elements. Decoding is fully bounds-checked:
+ * truncated, oversized or corrupted input throws FatalError -- never
+ * undefined behavior -- which the fuzz tests (tests/test_wire.cpp)
+ * exercise under ASan/UBSan.
+ */
+#ifndef FINESSE_DSE_WIRE_H_
+#define FINESSE_DSE_WIRE_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.h"
+
+namespace finesse {
+namespace wire {
+
+constexpr u32 kMagic = 0x45534446u; // "FDSE" little-endian
+constexpr size_t kHeaderBytes = 9;  // magic + type + length
+/** Upper bound on one payload; larger length fields are rejected. */
+constexpr size_t kMaxPayload = 64u << 20;
+
+enum class FrameType : u8 {
+    GroupRequest = 1, ///< master -> worker: one trace-key group
+    GroupResult = 2,  ///< worker -> master: the group's DsePoints
+    WorkerError = 3,  ///< worker -> master: fatal worker-side error
+};
+
+/** One trace-key group shipped to a worker. */
+struct GroupRequest
+{
+    std::string curve;
+    u64 groupId = 0;
+    std::vector<DseRequest> requests;
+};
+
+/** The evaluated group, points in request order. */
+struct GroupResult
+{
+    u64 groupId = 0;
+    std::vector<DsePoint> points;
+};
+
+/** Worker-side failure (configuration error, not a crash). */
+struct WorkerError
+{
+    u64 groupId = 0;
+    std::string message;
+};
+
+/** Append-only payload encoder (see file comment for the format). */
+class WireWriter
+{
+  public:
+    void
+    u8v(u8 v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u32v(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+    void i32v(i32 v) { u32v(static_cast<u32>(v)); }
+    void boolv(bool v) { u8v(v ? 1 : 0); }
+
+    /** Raw IEEE-754 bits: bit-identical round trip, NaNs included. */
+    void
+    f64v(double v)
+    {
+        u64 bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        u64v(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32v(static_cast<u32>(s.size()));
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<u8> &bytes() const { return bytes_; }
+    std::vector<u8> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<u8> bytes_;
+};
+
+/**
+ * Bounds-checked payload decoder over a borrowed byte range. Every
+ * accessor validates the remaining length first and throws FatalError
+ * on truncation; element counts are additionally sanity-bounded by
+ * the bytes actually present, so a corrupted count can never drive a
+ * huge allocation or an out-of-bounds read.
+ */
+class WireReader
+{
+  public:
+    WireReader(const u8 *data, size_t size) : data_(data), size_(size) {}
+    explicit WireReader(const std::vector<u8> &bytes)
+        : WireReader(bytes.data(), bytes.size())
+    {}
+
+    size_t remaining() const { return size_ - pos_; }
+
+    /** Decoders must consume the payload exactly; call when done. */
+    void
+    expectEnd() const
+    {
+        if (pos_ != size_)
+            fatal("wire: ", size_ - pos_, " trailing bytes in payload");
+    }
+
+    u8
+    u8v()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    u32
+    u32v()
+    {
+        need(4);
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    u64
+    u64v()
+    {
+        need(8);
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    i64 i64v() { return static_cast<i64>(u64v()); }
+    i32 i32v() { return static_cast<i32>(u32v()); }
+
+    bool
+    boolv()
+    {
+        const u8 v = u8v();
+        if (v > 1)
+            fatal("wire: bad bool byte ", static_cast<int>(v));
+        return v == 1;
+    }
+
+    double
+    f64v()
+    {
+        const u64 bits = u64v();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const u32 n = u32v();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    /**
+     * Element count for a vector whose elements occupy at least
+     * @p minElemBytes each: rejects counts the remaining payload
+     * cannot possibly hold.
+     */
+    u32
+    count(size_t minElemBytes)
+    {
+        const u32 n = u32v();
+        if (minElemBytes != 0 && n > remaining() / minElemBytes)
+            fatal("wire: element count ", n, " exceeds payload");
+        return n;
+    }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        if (n > remaining())
+            fatal("wire: truncated payload (need ", n, ", have ",
+                  remaining(), ")");
+    }
+
+    const u8 *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+/** One parsed frame (header validated, payload not yet decoded). */
+struct Frame
+{
+    FrameType type = FrameType::GroupRequest;
+    std::vector<u8> payload;
+};
+
+/**
+ * Incremental frame assembler for a byte stream: append() raw pipe
+ * reads, next() pops complete frames. A malformed header (bad magic,
+ * unknown type, oversized length) throws FatalError -- the stream is
+ * poisoned and the peer must be dropped.
+ */
+class FrameBuffer
+{
+  public:
+    void
+    append(const u8 *data, size_t n)
+    {
+        buf_.insert(buf_.end(), data, data + n);
+    }
+
+    bool next(Frame &out);
+
+    /** Bytes of a not-yet-complete trailing frame (EOF diagnostics). */
+    size_t pendingBytes() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<u8> buf_;
+    size_t pos_ = 0;
+};
+
+/** Serialize a complete frame (header + payload). */
+std::vector<u8> encodeFrame(FrameType type,
+                            const std::vector<u8> &payload);
+
+// Shared sub-encoders (also used by the fuzz tests).
+void putRequest(WireWriter &w, const DseRequest &req);
+DseRequest getRequest(WireReader &r);
+void putPoint(WireWriter &w, const DsePoint &p);
+DsePoint getPoint(WireReader &r);
+
+std::vector<u8> encodeGroupRequest(const GroupRequest &msg);
+std::vector<u8> encodeGroupResult(const GroupResult &msg);
+std::vector<u8> encodeWorkerError(const WorkerError &msg);
+
+/** Payload decoders; throw FatalError on any malformed input. */
+GroupRequest decodeGroupRequest(const std::vector<u8> &payload);
+GroupResult decodeGroupResult(const std::vector<u8> &payload);
+WorkerError decodeWorkerError(const std::vector<u8> &payload);
+
+} // namespace wire
+} // namespace finesse
+
+#endif // FINESSE_DSE_WIRE_H_

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * POSIX subprocess implementation: pipe + fork + execve, blocking
+ * reads/writes with EINTR retry, SIGKILL-on-destruction so a throwing
+ * master never leaks worker processes.
+ */
+#include "support/subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+namespace finesse {
+
+void
+ignoreSigpipe()
+{
+    static const int once = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return 0;
+    }();
+    (void)once;
+}
+
+bool
+writeAllFd(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const long w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+Subprocess &
+Subprocess::operator=(Subprocess &&other) noexcept
+{
+    if (this != &other) {
+        if (running()) {
+            kill(SIGKILL);
+            wait();
+        }
+        closeFds();
+        pid_ = other.pid_;
+        stdinFd_ = other.stdinFd_;
+        stdoutFd_ = other.stdoutFd_;
+        other.pid_ = -1;
+        other.stdinFd_ = -1;
+        other.stdoutFd_ = -1;
+    }
+    return *this;
+}
+
+Subprocess::~Subprocess()
+{
+    if (running()) {
+        kill(SIGKILL);
+        wait();
+    }
+    closeFds();
+}
+
+void
+Subprocess::closeFds()
+{
+    if (stdinFd_ >= 0)
+        ::close(stdinFd_);
+    if (stdoutFd_ >= 0)
+        ::close(stdoutFd_);
+    stdinFd_ = -1;
+    stdoutFd_ = -1;
+}
+
+void
+Subprocess::spawn(const std::vector<std::string> &argv,
+                  const std::vector<std::string> &extraEnv)
+{
+    FINESSE_CHECK(!running(), "subprocess already spawned");
+    FINESSE_REQUIRE(!argv.empty(), "subprocess: empty argv");
+    ignoreSigpipe();
+
+    // O_CLOEXEC is load-bearing: without it every later-spawned
+    // sibling inherits these pipe ends across its exec, holds the
+    // write ends open, and EOF (the shutdown/crash signal of the
+    // wire protocol) never reaches anyone. The child's dup2() onto
+    // fds 0/1 clears the flag on the copies it actually uses.
+    int inPipe[2];  // master writes -> child stdin
+    int outPipe[2]; // child stdout -> master reads
+    if (::pipe2(inPipe, O_CLOEXEC) != 0)
+        fatal("subprocess: pipe: ", std::strerror(errno));
+    if (::pipe2(outPipe, O_CLOEXEC) != 0) {
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        fatal("subprocess: pipe: ", std::strerror(errno));
+    }
+
+    // Build argv/envp before fork: no allocation between fork and exec.
+    std::vector<char *> argvp;
+    argvp.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        argvp.push_back(const_cast<char *>(a.c_str()));
+    argvp.push_back(nullptr);
+
+    std::vector<char *> envp;
+    for (char **e = environ; e && *e; ++e)
+        envp.push_back(*e);
+    for (const std::string &e : extraEnv)
+        envp.push_back(const_cast<char *>(e.c_str()));
+    envp.push_back(nullptr);
+
+    const int pid = ::fork();
+    if (pid < 0) {
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        fatal("subprocess: fork: ", std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: wire the pipes to stdin/stdout and exec.
+        ::dup2(inPipe[0], STDIN_FILENO);
+        ::dup2(outPipe[1], STDOUT_FILENO);
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::execve(argvp[0], argvp.data(), envp.data());
+        // Exec failed; 127 is the conventional "command not found".
+        ::_exit(127);
+    }
+
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+    pid_ = pid;
+    stdinFd_ = inPipe[1];
+    stdoutFd_ = outPipe[0];
+}
+
+bool
+Subprocess::writeAll(const void *data, size_t n)
+{
+    return writeAllFd(stdinFd_, data, n);
+}
+
+long
+Subprocess::readSome(void *buf, size_t n)
+{
+    for (;;) {
+        const long r = ::read(stdoutFd_, buf, n);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+void
+Subprocess::closeStdin()
+{
+    if (stdinFd_ >= 0)
+        ::close(stdinFd_);
+    stdinFd_ = -1;
+}
+
+void
+Subprocess::kill(int sig)
+{
+    if (running())
+        ::kill(pid_, sig);
+}
+
+int
+Subprocess::wait()
+{
+    if (!running())
+        return -1;
+    int status = 0;
+    for (;;) {
+        const int r = ::waitpid(pid_, &status, 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    pid_ = -1;
+    return status;
+}
+
+bool
+Subprocess::exitedCleanly(int waitStatus)
+{
+    return WIFEXITED(waitStatus) && WEXITSTATUS(waitStatus) == 0;
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const long n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        fatal("subprocess: readlink /proc/self/exe: ",
+              std::strerror(errno));
+    return std::string(buf, static_cast<size_t>(n));
+}
+
+} // namespace finesse

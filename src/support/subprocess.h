@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal POSIX subprocess with piped stdin/stdout, used by the
+ * multi-process DSE distributor to spawn and talk to worker
+ * processes. stderr is inherited so worker diagnostics land in the
+ * parent's stream. No external dependencies: fork/execve + pipes.
+ */
+#ifndef FINESSE_SUPPORT_SUBPROCESS_H_
+#define FINESSE_SUPPORT_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace finesse {
+
+/**
+ * One spawned child process. The parent writes frames to stdinFd()
+ * and reads from stdoutFd(). Destruction kills (SIGKILL) and reaps a
+ * still-running child; call closeStdin() + wait() for a clean exit.
+ */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    ~Subprocess();
+
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+    Subprocess(Subprocess &&other) noexcept { *this = std::move(other); }
+    Subprocess &operator=(Subprocess &&other) noexcept;
+
+    /**
+     * Fork + exec @p argv (argv[0] is the executable path; no PATH
+     * search). @p extraEnv entries ("KEY=VALUE") are appended to the
+     * parent environment. Throws FatalError when the pipes or fork
+     * fail; exec failure in the child surfaces as exit code 127.
+     * Spawning also ignores SIGPIPE process-wide (once) so a write
+     * to a crashed worker reports EPIPE instead of killing us.
+     */
+    void spawn(const std::vector<std::string> &argv,
+               const std::vector<std::string> &extraEnv = {});
+
+    bool running() const { return pid_ > 0; }
+    int pid() const { return pid_; }
+    int stdinFd() const { return stdinFd_; }
+    int stdoutFd() const { return stdoutFd_; }
+
+    /**
+     * Write the whole buffer to the child's stdin; returns false on
+     * any error (notably EPIPE after a child crash).
+     */
+    bool writeAll(const void *data, size_t n);
+
+    /**
+     * One blocking read from the child's stdout into @p buf. Returns
+     * the byte count, 0 on EOF (child closed / exited), -1 on error.
+     */
+    long readSome(void *buf, size_t n);
+
+    /** Close our write end; the child sees EOF on its stdin. */
+    void closeStdin();
+
+    /** Send a signal (e.g. SIGKILL) to a running child. */
+    void kill(int sig);
+
+    /**
+     * Reap the child (blocking). Returns the raw waitpid status; use
+     * exitedCleanly() for the common check. No-op -1 when not running.
+     */
+    int wait();
+
+    /** True when @p waitStatus is a normal exit with code 0. */
+    static bool exitedCleanly(int waitStatus);
+
+  private:
+    void closeFds();
+
+    int pid_ = -1;
+    int stdinFd_ = -1;
+    int stdoutFd_ = -1;
+};
+
+/**
+ * Write the whole buffer to @p fd, retrying on EINTR; false on any
+ * error (EPIPE included). The one write loop shared by
+ * Subprocess::writeAll (master -> worker pipes) and the worker's
+ * result stream (raw stdout fd).
+ */
+bool writeAllFd(int fd, const void *data, size_t n);
+
+/**
+ * Ignore SIGPIPE process-wide (idempotent): a peer that died mid-frame
+ * must surface as EPIPE from write(), not as a fatal signal. Called by
+ * Subprocess::spawn and by worker loops writing to inherited pipes.
+ */
+void ignoreSigpipe();
+
+/**
+ * Absolute path of the running executable (/proc/self/exe); the
+ * default worker command re-executes the current binary in worker
+ * mode, so masters and workers are always the same build.
+ */
+std::string selfExePath();
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_SUBPROCESS_H_

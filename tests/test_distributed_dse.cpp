@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Multi-process sweep tests: Explorer::evaluateAllDistributed must be
+ * BIT-identical to evaluateAll for workers in {1, 2, 4} -- across a
+ * mixed request set, across the full curve catalog, and under a
+ * worker killed with SIGKILL mid-group (the re-dispatch path). Also
+ * covers bounded-retry exhaustion and worker-side deterministic
+ * errors.
+ *
+ * This binary is its own worker pool: main() dispatches argv[1] ==
+ * "dse-worker" into the worker loop before gtest sees the command
+ * line, so the distributor's default self-re-exec worker command
+ * works unchanged. The suite also runs in the tsan CI job (the
+ * master's poll loop and the in-worker batched engine under TSan).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "curve/catalog.h"
+#include "dse/distributor.h"
+#include "dse/explorer.h"
+
+namespace finesse {
+namespace {
+
+/**
+ * All deterministic DsePoint fields. Doubles compared EXACTLY (==,
+ * not near): they cross the wire as raw bit patterns and the worker
+ * runs the same code on the same inputs, so every bit must match.
+ * Wall times (compileSeconds, per-pass seconds) are exempt -- they
+ * are measurements, not results.
+ */
+void
+expectSamePoint(const DsePoint &a, const DsePoint &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mulInstrs, b.mulInstrs);
+    EXPECT_EQ(a.linInstrs, b.linInstrs);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.variants.cacheKey(), b.variants.cacheKey());
+    EXPECT_EQ(a.hw.describe(), b.hw.describe());
+    EXPECT_TRUE(a.ipc == b.ipc);
+    EXPECT_TRUE(a.areaMm2 == b.areaMm2);
+    EXPECT_TRUE(a.freqMHz == b.freqMHz);
+    EXPECT_TRUE(a.criticalPathNs == b.criticalPathNs);
+    EXPECT_TRUE(a.latencyUs == b.latencyUs);
+    EXPECT_TRUE(a.throughputOps == b.throughputOps);
+    EXPECT_TRUE(a.thptPerArea == b.thptPerArea);
+
+    // Front-end attribution crosses the wire too: aggregate counters
+    // and the deterministic per-pass columns must survive bit-exactly.
+    EXPECT_EQ(a.opt.instrsBefore, b.opt.instrsBefore);
+    EXPECT_EQ(a.opt.instrsAfter, b.opt.instrsAfter);
+    EXPECT_EQ(a.opt.iterations, b.opt.iterations);
+    ASSERT_EQ(a.opt.passes.size(), b.opt.passes.size());
+    for (size_t i = 0; i < a.opt.passes.size(); ++i) {
+        EXPECT_EQ(a.opt.passes[i].name, b.opt.passes[i].name);
+        EXPECT_EQ(a.opt.passes[i].invocations,
+                  b.opt.passes[i].invocations);
+        EXPECT_EQ(a.opt.passes[i].instrsRemoved,
+                  b.opt.passes[i].instrsRemoved);
+        EXPECT_EQ(a.opt.passes[i].frontend, b.opt.passes[i].frontend);
+    }
+}
+
+void
+expectSamePoints(const std::vector<DsePoint> &ref,
+                 const std::vector<DsePoint> &got)
+{
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSamePoint(ref[i], got[i]);
+    }
+}
+
+/**
+ * Mixed request set on BN254N: several trace keys (variants x part),
+ * several hardware models per key, a legacy-path request (trace cache
+ * disabled -> singleton group) and a backend ablation.
+ */
+std::vector<DseRequest>
+mixedRequests(const Explorer &ex)
+{
+    std::vector<PipelineModel> models;
+    models.emplace_back(); // single-issue deep
+    {
+        PipelineModel vliw;
+        vliw.longLat = 8;
+        vliw.shortLat = 2;
+        vliw.issueWidth = 3;
+        vliw.numLinUnits = 2;
+        vliw.numBanks = 3;
+        vliw.writebackFifo = true;
+        models.push_back(vliw);
+    }
+
+    std::vector<DseRequest> reqs;
+    const std::vector<VariantConfig> cfgs = {
+        ex.allKaratsuba(), ex.allSchoolbook(), ex.manualHeuristic()};
+    for (const VariantConfig &cfg : cfgs) {
+        for (const PipelineModel &hw : models) {
+            DseRequest req;
+            req.opt.variants = cfg;
+            req.opt.hw = hw;
+            req.cores = 2;
+            req.label = "grid";
+            reqs.push_back(std::move(req));
+        }
+    }
+    {
+        // Distinct trace key via part + a cheap trace.
+        DseRequest req;
+        req.opt.part = TracePart::FinalExpOnly;
+        req.label = "finalexp";
+        reqs.push_back(std::move(req));
+    }
+    {
+        // Legacy per-point path: no trace cache -> singleton group.
+        DseRequest req;
+        req.opt.useTraceCache = false;
+        req.label = "legacy";
+        reqs.push_back(std::move(req));
+    }
+    return reqs;
+}
+
+TEST(DistributedDse, MatchesEvaluateAllForWorkers124)
+{
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = mixedRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    for (int workers : {1, 2, 4}) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        DistributorStats stats;
+        DistributorOptions opts;
+        opts.stats = &stats;
+        const std::vector<DsePoint> got =
+            ex.evaluateAllDistributed(reqs, workers, opts);
+        expectSamePoints(ref, got);
+        EXPECT_EQ(stats.workerDeaths, 0);
+        EXPECT_EQ(stats.redispatches, 0);
+        EXPECT_GT(stats.groups, 1u);
+        EXPECT_LE(stats.workersSpawned, workers);
+    }
+}
+
+TEST(DistributedDse, MatchesEvaluateAllAcrossFullCatalog)
+{
+    // Every catalog curve, two hardware models against the default
+    // variants (one trace key per curve -> one group per curve, the
+    // cheapest full-catalog crossing). Two workers split the groups.
+    for (const CurveDef &def : curveCatalog()) {
+        SCOPED_TRACE(def.name);
+        Explorer ex(def.name);
+        std::vector<DseRequest> reqs;
+        for (int lin : {1, 2}) {
+            DseRequest req;
+            req.opt.hw.longLat = 8;
+            req.opt.hw.shortLat = 2;
+            req.opt.hw.issueWidth = lin > 1 ? lin + 1 : 1;
+            req.opt.hw.numLinUnits = lin;
+            req.opt.hw.numBanks = req.opt.hw.issueWidth;
+            req.opt.hw.writebackFifo = lin > 1;
+            req.label = def.name;
+            reqs.push_back(std::move(req));
+        }
+        const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+        const std::vector<DsePoint> got =
+            ex.evaluateAllDistributed(reqs, 2);
+        expectSamePoints(ref, got);
+    }
+}
+
+TEST(DistributedDse, Kill9MidGroupRedispatchesAndStaysIdentical)
+{
+    // Worker 0 raises SIGKILL on receipt of its first group -- after
+    // the master committed the dispatch, i.e. genuinely mid-group.
+    // The master must detect the death, re-dispatch that group to the
+    // surviving worker, and still return bit-identical results.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = mixedRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.killWorkerIndex = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.workersSpawned, 2);
+    EXPECT_EQ(stats.workerDeaths, 1);
+    EXPECT_EQ(stats.redispatches, 1);
+}
+
+TEST(DistributedDse, AllWorkersDeadFailsWithBoundedRetries)
+{
+    // Every worker kills itself on its first group: the sweep must
+    // terminate with an error (no infinite re-spawn/re-dispatch), and
+    // the retry counter must stay within its bound.
+    Explorer ex("BN254N");
+    std::vector<DseRequest> reqs;
+    reqs.emplace_back();
+    reqs.back().label = "doomed";
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.killAllWorkers = true;
+    opts.maxGroupRetries = 5;
+    EXPECT_THROW(ex.evaluateAllDistributed(reqs, 2, opts), FatalError);
+    EXPECT_GE(stats.workerDeaths, 1);
+    EXPECT_LE(stats.redispatches, opts.maxGroupRetries);
+}
+
+TEST(DistributedDse, WorkerSideErrorPropagatesWithoutRetry)
+{
+    // An unknown curve is a deterministic failure: the worker reports
+    // it over the wire (WorkerError frame) and the master propagates
+    // instead of burning retries on it. The request disables the
+    // trace cache so the master never needs the curve handle itself
+    // (singleton group) -- the error must travel the wire.
+    std::vector<DseRequest> reqs;
+    reqs.emplace_back();
+    reqs.back().opt.useTraceCache = false;
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    EXPECT_THROW(distributeEvaluate("NOT-A-CURVE", reqs, 1, opts),
+                 FatalError);
+    EXPECT_EQ(stats.redispatches, 0);
+}
+
+TEST(DistributedDse, EmptyRequestListReturnsEmpty)
+{
+    Explorer ex("BN254N");
+    EXPECT_TRUE(ex.evaluateAllDistributed({}, 4).empty());
+}
+
+TEST(DistributedDse, MoreWorkersThanGroupsIsFine)
+{
+    Explorer ex("BN254N");
+    std::vector<DseRequest> reqs;
+    reqs.emplace_back();
+    reqs.back().opt.part = TracePart::FinalExpOnly;
+    reqs.back().label = "solo";
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 8, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.workersSpawned, 1); // capped at group count
+}
+
+TEST(DistributedDse, ExploreVariantsDistributedFindsSameBest)
+{
+    Explorer ex("BN254N");
+    CompileOptions base;
+    base.jobs = 1;
+    const DsePoint serialBest =
+        ex.exploreVariants(base, Objective::MinCycles, true);
+    base.dseWorkers = 2;
+    const DsePoint distBest =
+        ex.exploreVariants(base, Objective::MinCycles, true);
+    expectSamePoint(serialBest, distBest);
+}
+
+} // namespace
+} // namespace finesse
+
+/**
+ * Worker-aware main: the distributor's default worker command
+ * re-executes this binary with argv[1] == "dse-worker"; everything
+ * else goes to gtest (this file links GTest::gtest, not gtest_main).
+ */
+int
+main(int argc, char **argv)
+{
+    if (const std::optional<int> rc =
+            finesse::maybeRunDseWorkerMain(argc, argv))
+        return *rc;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Wire-protocol tests: canonical round trips (re-encoding a decoded
+ * message reproduces the input bytes, so every field -- doubles as
+ * raw bit patterns included -- survives the wire), frame assembly
+ * from fragmented streams, and adversarial decode robustness: every
+ * truncation and random mutation of a valid payload must either
+ * decode or throw FatalError -- never crash, over-allocate or read
+ * out of bounds. This suite is part of the asan-ubsan CI job, which
+ * is what turns "never UB" from a comment into a checked property.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dse/wire.h"
+#include "support/rng.h"
+
+namespace finesse {
+namespace {
+
+using namespace wire;
+
+/** A request exercising every serialized CompileOptions field. */
+DseRequest
+richRequest()
+{
+    DseRequest req;
+    req.label = "probe/one";
+    req.cores = 4;
+    req.opt.variants.levels[2] = {MulVariant::Karatsuba,
+                                  SqrVariant::Complex};
+    req.opt.variants.levels[6] = {MulVariant::Schoolbook,
+                                  SqrVariant::CHSqr2};
+    req.opt.variants.levels[12] = {MulVariant::Karatsuba,
+                                   SqrVariant::CHSqr3};
+    req.opt.variants.g2Coords = CoordSystem::Projective;
+    req.opt.variants.cyclotomicSqr = false;
+    req.opt.hw.longLat = 8;
+    req.opt.hw.shortLat = 2;
+    req.opt.hw.invLat = 901;
+    req.opt.hw.issueWidth = 3;
+    req.opt.hw.numLinUnits = 2;
+    req.opt.hw.numBanks = 3;
+    req.opt.hw.writebackFifo = true;
+    req.opt.hw.fifoDepth = 16;
+    req.opt.hw.beta = 0.07125;
+    req.opt.optimize = true;
+    req.opt.listSchedule = false;
+    req.opt.part = TracePart::MillerOnly;
+    req.opt.passes = {"constfold", "gvn", "dce"};
+    req.opt.useTraceCache = false;
+    req.opt.jobs = 7;
+    return req;
+}
+
+/** A result point with adversarial doubles (NaN, denormal, -0.0). */
+DsePoint
+richPoint()
+{
+    DsePoint p;
+    p.label = "pt \"quoted\"";
+    p.variants.levels[2] = {MulVariant::Schoolbook,
+                            SqrVariant::Schoolbook};
+    p.hw.issueWidth = 2;
+    p.hw.numBanks = 2;
+    p.hw.writebackFifo = true;
+    p.cores = 8;
+    p.instrs = 123456;
+    p.mulInstrs = 4242;
+    p.linInstrs = 99;
+    p.cycles = -1; // i64 sign round trip
+    p.ipc = std::numeric_limits<double>::quiet_NaN();
+    p.areaMm2 = -0.0;
+    p.freqMHz = std::numeric_limits<double>::denorm_min();
+    p.criticalPathNs = 1.0 / 3.0;
+    p.latencyUs = std::numeric_limits<double>::infinity();
+    p.throughputOps = 1e300;
+    p.thptPerArea = 5e-324;
+    p.compileSeconds = 0.25;
+    p.opt.instrsBefore = 1000;
+    p.opt.instrsAfter = 600;
+    p.opt.iterations = 3;
+    p.opt.seconds = 0.125;
+    PassStats ps;
+    ps.name = "gvn";
+    ps.invocations = 2;
+    ps.instrsRemoved = -7;
+    ps.seconds = 0.5;
+    ps.frontend = true;
+    p.opt.passes = {ps, ps};
+    p.opt.passes[1].name = "packsched";
+    p.opt.passes[1].frontend = false;
+    return p;
+}
+
+GroupRequest
+sampleRequest()
+{
+    GroupRequest msg;
+    msg.curve = "BLS12-381";
+    msg.groupId = 0x1122334455667788ull;
+    msg.requests = {richRequest(), DseRequest{}};
+    return msg;
+}
+
+GroupResult
+sampleResult()
+{
+    GroupResult msg;
+    msg.groupId = 42;
+    msg.points = {richPoint(), DsePoint{}};
+    return msg;
+}
+
+std::vector<u8>
+payloadOf(const std::vector<u8> &frame)
+{
+    return std::vector<u8>(frame.begin() +
+                               static_cast<std::ptrdiff_t>(kHeaderBytes),
+                           frame.end());
+}
+
+// ------------------------------------------------------- round trips
+
+TEST(Wire, GroupRequestRoundTripsByteIdentically)
+{
+    const GroupRequest msg = sampleRequest();
+    const std::vector<u8> frame = encodeGroupRequest(msg);
+    const GroupRequest decoded = decodeGroupRequest(payloadOf(frame));
+
+    EXPECT_EQ(decoded.curve, msg.curve);
+    EXPECT_EQ(decoded.groupId, msg.groupId);
+    ASSERT_EQ(decoded.requests.size(), msg.requests.size());
+    EXPECT_EQ(decoded.requests[0].label, msg.requests[0].label);
+    EXPECT_EQ(decoded.requests[0].opt.variants.cacheKey(),
+              msg.requests[0].opt.variants.cacheKey());
+    EXPECT_EQ(decoded.requests[0].opt.passes,
+              msg.requests[0].opt.passes);
+    EXPECT_EQ(decoded.requests[0].opt.part, msg.requests[0].opt.part);
+
+    // The canonical-encoding check subsumes field-by-field equality:
+    // every bit of every field survived the wire.
+    EXPECT_EQ(encodeGroupRequest(decoded), frame);
+}
+
+TEST(Wire, GroupResultRoundTripsByteIdentically)
+{
+    const GroupResult msg = sampleResult();
+    const std::vector<u8> frame = encodeGroupResult(msg);
+    const GroupResult decoded = decodeGroupResult(payloadOf(frame));
+
+    ASSERT_EQ(decoded.points.size(), msg.points.size());
+    EXPECT_EQ(decoded.points[0].label, msg.points[0].label);
+    EXPECT_EQ(decoded.points[0].cycles, msg.points[0].cycles);
+    EXPECT_TRUE(std::isnan(decoded.points[0].ipc));
+    EXPECT_TRUE(std::signbit(decoded.points[0].areaMm2));
+    ASSERT_EQ(decoded.points[0].opt.passes.size(), 2u);
+    EXPECT_EQ(decoded.points[0].opt.passes[1].name, "packsched");
+
+    EXPECT_EQ(encodeGroupResult(decoded), frame);
+}
+
+TEST(Wire, WorkerErrorRoundTrips)
+{
+    WorkerError err;
+    err.groupId = 9;
+    err.message = "unknown curve: X25519";
+    const std::vector<u8> frame = encodeWorkerError(err);
+    const WorkerError decoded = decodeWorkerError(payloadOf(frame));
+    EXPECT_EQ(decoded.groupId, err.groupId);
+    EXPECT_EQ(decoded.message, err.message);
+    EXPECT_EQ(encodeWorkerError(decoded), frame);
+}
+
+// ---------------------------------------------------- frame assembly
+
+TEST(Wire, FrameBufferReassemblesByteDribbledStream)
+{
+    // Two frames delivered one byte at a time: exactly two frames pop
+    // out, each with the right payload, no matter how reads fragment.
+    const std::vector<u8> a = encodeGroupRequest(sampleRequest());
+    const std::vector<u8> b = encodeGroupResult(sampleResult());
+    std::vector<u8> stream = a;
+    stream.insert(stream.end(), b.begin(), b.end());
+
+    FrameBuffer buf;
+    std::vector<Frame> got;
+    Frame f;
+    for (u8 byte : stream) {
+        buf.append(&byte, 1);
+        while (buf.next(f))
+            got.push_back(f);
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].type, FrameType::GroupRequest);
+    EXPECT_EQ(got[1].type, FrameType::GroupResult);
+    EXPECT_EQ(got[0].payload, payloadOf(a));
+    EXPECT_EQ(got[1].payload, payloadOf(b));
+    EXPECT_EQ(buf.pendingBytes(), 0u);
+}
+
+TEST(Wire, FrameBufferRejectsBadMagic)
+{
+    std::vector<u8> frame = encodeWorkerError({0, "x"});
+    frame[0] ^= 0xff;
+    FrameBuffer buf;
+    buf.append(frame.data(), frame.size());
+    Frame f;
+    EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FrameBufferRejectsUnknownType)
+{
+    std::vector<u8> frame = encodeWorkerError({0, "x"});
+    frame[4] = 0x7f; // type byte
+    FrameBuffer buf;
+    buf.append(frame.data(), frame.size());
+    Frame f;
+    EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FrameBufferRejectsOversizedLength)
+{
+    // Header claims a payload beyond kMaxPayload: must be rejected
+    // up front, not buffered toward a 4 GiB allocation.
+    std::vector<u8> frame = encodeWorkerError({0, "x"});
+    const u32 huge = static_cast<u32>(kMaxPayload) + 1;
+    for (int i = 0; i < 4; ++i)
+        frame[5 + static_cast<size_t>(i)] =
+            static_cast<u8>(huge >> (8 * i));
+    FrameBuffer buf;
+    buf.append(frame.data(), frame.size());
+    Frame f;
+    EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FrameBufferWaitsOnIncompleteFrame)
+{
+    const std::vector<u8> frame = encodeGroupRequest(sampleRequest());
+    FrameBuffer buf;
+    buf.append(frame.data(), frame.size() - 1);
+    Frame f;
+    EXPECT_FALSE(buf.next(f));
+    EXPECT_GT(buf.pendingBytes(), 0u);
+    buf.append(frame.data() + frame.size() - 1, 1);
+    EXPECT_TRUE(buf.next(f));
+    EXPECT_EQ(buf.pendingBytes(), 0u);
+}
+
+// ------------------------------------------------- decode robustness
+
+/**
+ * Decoding arbitrary bytes must either succeed or throw FatalError;
+ * anything else (crash, OOB read, huge allocation) fails the test --
+ * and the asan-ubsan CI job catches the silent variants.
+ */
+template <typename Decoder>
+void
+expectNoUb(const std::vector<u8> &payload, Decoder decode)
+{
+    try {
+        decode(payload);
+    } catch (const FatalError &) {
+        // Rejected cleanly: the expected outcome for junk.
+    }
+}
+
+TEST(Wire, EveryTruncationOfValidPayloadsIsRejectedCleanly)
+{
+    const std::vector<u8> req =
+        payloadOf(encodeGroupRequest(sampleRequest()));
+    for (size_t n = 0; n < req.size(); ++n) {
+        std::vector<u8> cut(req.begin(),
+                            req.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(decodeGroupRequest(cut), FatalError)
+            << "prefix " << n << " of " << req.size();
+    }
+
+    const std::vector<u8> res =
+        payloadOf(encodeGroupResult(sampleResult()));
+    for (size_t n = 0; n < res.size(); ++n) {
+        std::vector<u8> cut(res.begin(),
+                            res.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(decodeGroupResult(cut), FatalError)
+            << "prefix " << n << " of " << res.size();
+    }
+}
+
+TEST(Wire, TrailingGarbageIsRejected)
+{
+    std::vector<u8> req = payloadOf(encodeGroupRequest(sampleRequest()));
+    req.push_back(0);
+    EXPECT_THROW(decodeGroupRequest(req), FatalError);
+}
+
+TEST(Wire, SingleByteMutationFuzz)
+{
+    // Flip random bytes of valid payloads: decode must never
+    // misbehave. (Many mutations still decode -- e.g. a flipped bit
+    // inside a double -- which is fine; the property under test is
+    // "no UB on corrupted input", not "all corruption detected".)
+    Rng rng(0xD15E);
+    const std::vector<u8> req =
+        payloadOf(encodeGroupRequest(sampleRequest()));
+    const std::vector<u8> res =
+        payloadOf(encodeGroupResult(sampleResult()));
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::vector<u8> mut = (iter & 1) ? req : res;
+        const size_t pos = rng.below(mut.size());
+        mut[pos] ^= static_cast<u8>(1 + rng.below(255));
+        if (iter & 1)
+            expectNoUb(mut, [](const std::vector<u8> &p) {
+                decodeGroupRequest(p);
+            });
+        else
+            expectNoUb(mut, [](const std::vector<u8> &p) {
+                decodeGroupResult(p);
+            });
+    }
+}
+
+TEST(Wire, RandomBytesFuzz)
+{
+    // Pure noise payloads of varied sizes, plus noise with a valid
+    // length-looking prefix: reject or decode, never UB.
+    Rng rng(0xF00D);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::vector<u8> junk(rng.below(256));
+        for (u8 &b : junk)
+            b = static_cast<u8>(rng.below(256));
+        expectNoUb(junk, [](const std::vector<u8> &p) {
+            decodeGroupRequest(p);
+        });
+        expectNoUb(junk, [](const std::vector<u8> &p) {
+            decodeGroupResult(p);
+        });
+        expectNoUb(junk, [](const std::vector<u8> &p) {
+            decodeWorkerError(p);
+        });
+    }
+}
+
+TEST(Wire, HugeElementCountsAreRejectedWithoutAllocating)
+{
+    // A payload whose request count claims 2^32-1 entries but carries
+    // no bytes: the count bound must reject it before any reserve.
+    WireWriter w;
+    w.str("BN254N");
+    w.u64v(1);
+    w.u32v(0xffffffffu);
+    EXPECT_THROW(decodeGroupRequest(w.bytes()), FatalError);
+
+    WireWriter w2;
+    w2.u64v(1);
+    w2.u32v(0xfffffff0u);
+    EXPECT_THROW(decodeGroupResult(w2.bytes()), FatalError);
+}
+
+} // namespace
+} // namespace finesse

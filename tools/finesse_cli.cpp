@@ -11,6 +11,8 @@
  *   simulate   compile, then cycle-accurate simulation
  *   area       compile, then area/timing report (1/4/8 cores)
  *   dse        exhaustive operator-variant search on the configured hw
+ *   dse-worker evaluate DSE groups from stdin, results to stdout (the
+ *              wire protocol of dse/wire.h; spawned by the master)
  *   disasm     compile and print the binary head
  *   deploy     compile and save a program image:
  *                finesse_cli deploy <config> <image-file>
@@ -25,6 +27,9 @@
  *   --no-trace-cache  disable the front-end trace cache
  *   --jobs=N          sweep worker threads for `dse` (0 = hardware
  *                     concurrency, 1 = serial; config key `jobs`)
+ *   --dse-workers=N   run the `dse` sweep on N worker subprocesses
+ *                     (multi-process fan-out; config key `dse_workers`;
+ *                     0 = in-process on --jobs threads)
  * The config file uses `key = value` lines (see core/options.h); when
  * omitted, defaults (BN254N, paper hardware model) apply.
  */
@@ -33,6 +38,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "dse/distributor.h"
 #include "dse/explorer.h"
 #include "core/options.h"
 #include "isa/progio.h"
@@ -48,9 +54,10 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: finesse_cli "
-                 "{compile|validate|simulate|area|dse|disasm|deploy|exec} "
+                 "{compile|validate|simulate|area|dse|dse-worker|disasm|"
+                 "deploy|exec} "
                  "[config-file] [--passes=<list>] [--pass-stats] "
-                 "[--no-trace-cache] [--jobs=N]\n");
+                 "[--no-trace-cache] [--jobs=N] [--dse-workers=N]\n");
     return 2;
 }
 
@@ -86,15 +93,38 @@ printPassStats(const OptStats &opt)
                     static_cast<long long>(opt.instrsAfter));
 }
 
+/** Strict parse of a non-negative --flag=N value; -1 on junk. */
+int
+parseCount(const std::string &value)
+{
+    size_t consumed = 0;
+    int n;
+    try {
+        n = std::stoi(value, &consumed);
+    } catch (...) {
+        return -1;
+    }
+    if (consumed != value.size()) // reject "4x", "1O", ...
+        return -1;
+    return n >= 0 ? n : -1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Worker mode: the master re-executes this binary as
+    // `finesse_cli dse-worker` and speaks the wire protocol over the
+    // spawned pipes; nothing else on the command line applies.
+    if (const std::optional<int> rc = maybeRunDseWorkerMain(argc, argv))
+        return *rc;
+
     std::vector<std::string> positional;
     bool passStats = false;
     bool noTraceCache = false;
     int jobs = -1; // -1 = not on the command line; config/default wins
+    int dseWorkers = -1;
     std::string passList;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -105,17 +135,16 @@ main(int argc, char **argv)
         } else if (arg.rfind("--passes=", 0) == 0) {
             passList = arg.substr(9);
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            const std::string value = arg.substr(7);
-            size_t consumed = 0;
-            try {
-                jobs = std::stoi(value, &consumed);
-            } catch (...) {
-                jobs = -1;
-            }
-            if (consumed != value.size()) // reject "4x", "1O", ...
-                jobs = -1;
+            jobs = parseCount(arg.substr(7));
             if (jobs < 0) {
                 std::fprintf(stderr, "bad --jobs value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--dse-workers=", 0) == 0) {
+            dseWorkers = parseCount(arg.substr(14));
+            if (dseWorkers < 0) {
+                std::fprintf(stderr, "bad --dse-workers value: %s\n",
                              arg.c_str());
                 return usage();
             }
@@ -168,6 +197,8 @@ main(int argc, char **argv)
             opt.useTraceCache = false;
         if (jobs >= 0)
             opt.jobs = jobs;
+        if (dseWorkers >= 0)
+            opt.dseWorkers = dseWorkers;
         Framework fw(curve);
         std::printf("curve %s | hw %s\n", curve.c_str(),
                     opt.hw.describe().c_str());
@@ -185,12 +216,19 @@ main(int argc, char **argv)
                     std::chrono::steady_clock::now() - t0)
                     .count();
             const TraceCacheStats cache = traceCacheStats();
-            std::printf("swept %zu combos on %d workers in %.2f s "
-                        "(trace cache: %zu miss, %zu hit, "
-                        "%zu coalesced)\n",
-                        ex.variantSpace(true).size(),
-                        resolveJobs(opt.jobs), sweepSeconds,
-                        cache.misses, cache.hits, cache.coalesced);
+            if (opt.dseWorkers > 0) {
+                std::printf("swept %zu combos on %d worker processes "
+                            "in %.2f s\n",
+                            ex.variantSpace(true).size(),
+                            opt.dseWorkers, sweepSeconds);
+            } else {
+                std::printf("swept %zu combos on %d workers in %.2f s "
+                            "(trace cache: %zu miss, %zu hit, "
+                            "%zu coalesced)\n",
+                            ex.variantSpace(true).size(),
+                            resolveJobs(opt.jobs), sweepSeconds,
+                            cache.misses, cache.hits, cache.coalesced);
+            }
             std::printf("best combo: %lld cycles, IPC %.2f, %.2f mm^2, "
                         "%.1f us\n",
                         static_cast<long long>(best.cycles), best.ipc,
