@@ -1,16 +1,147 @@
 /**
  * @file
- * BigInt implementation. Schoolbook multiplication and Knuth Algorithm D
- * division with 64-bit digits; ample for setup-time computations on values
- * up to a few tens of kilobits (p^24 for BLS24-509 is ~12.2 kbit).
+ * BigInt implementation. Karatsuba multiplication (schoolbook below
+ * kKaratsubaThresholdLimbs) and Knuth Algorithm D division with 64-bit
+ * digits; ample for setup-time computations on values up to a few tens
+ * of kilobits (p^24 for BLS24-509 is ~12.2 kbit).
  */
 #include "bigint/bigint.h"
 
 #include <algorithm>
 #include <array>
 #include <ostream>
+#include <vector>
 
 namespace finesse {
+
+namespace {
+
+/**
+ * r[0 .. na+nb) = a * b, schoolbook. @p r must be zero-filled on entry.
+ */
+void
+mulSchoolbookLimbs(u64 *r, const u64 *a, size_t na, const u64 *b, size_t nb)
+{
+    for (size_t i = 0; i < na; ++i) {
+        u64 carry = 0;
+        const u64 x = a[i];
+        for (size_t j = 0; j < nb; ++j) {
+            const u128 t = static_cast<u128>(x) * b[j] + r[i + j] + carry;
+            r[i + j] = static_cast<u64>(t);
+            carry = static_cast<u64>(t >> 64);
+        }
+        r[i + nb] = carry;
+    }
+}
+
+/** r[0 .. rn) += x[0 .. xn); the carry must die inside r. */
+void
+addInto(u64 *r, size_t rn, const u64 *x, size_t xn)
+{
+    u64 carry = 0;
+    size_t i = 0;
+    for (; i < xn; ++i) {
+        const u128 s = static_cast<u128>(r[i]) + x[i] + carry;
+        r[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    for (; carry && i < rn; ++i) {
+        r[i] += 1;
+        carry = r[i] == 0;
+    }
+    FINESSE_CHECK(carry == 0, "addInto overflow");
+}
+
+/** r[0 .. rn) -= x[0 .. xn); requires r >= x as integers. */
+void
+subInto(u64 *r, size_t rn, const u64 *x, size_t xn)
+{
+    u64 borrow = 0;
+    size_t i = 0;
+    for (; i < xn; ++i) {
+        const u64 y = x[i];
+        const u64 d = r[i] - y;
+        const u64 b1 = r[i] < y;
+        const u64 d2 = d - borrow;
+        const u64 b2 = d < borrow;
+        r[i] = d2;
+        borrow = b1 | b2;
+    }
+    for (; borrow && i < rn; ++i) {
+        borrow = r[i] == 0;
+        r[i] -= 1;
+    }
+    FINESSE_CHECK(borrow == 0, "subInto underflow");
+}
+
+/** Significant-limb count (trailing zeros dropped). */
+size_t
+sigLimbs(const u64 *a, size_t n)
+{
+    while (n > 0 && a[n - 1] == 0)
+        --n;
+    return n;
+}
+
+/**
+ * r[0 .. na+nb) = a * b. @p r must be zero-filled on entry. Recursive
+ * Karatsuba above kKaratsubaThresholdLimbs (measured on the smaller
+ * operand), schoolbook below. Unbalanced operands are split along the
+ * larger one until the halves can pair up.
+ */
+void
+mulRecLimbs(u64 *r, const u64 *a, size_t na, const u64 *b, size_t nb)
+{
+    if (na < nb) {
+        std::swap(a, b);
+        std::swap(na, nb);
+    }
+    if (nb <= kKaratsubaThresholdLimbs) {
+        mulSchoolbookLimbs(r, a, na, b, nb);
+        return;
+    }
+    const size_t m = na / 2;
+    if (nb <= m) {
+        // b spans only the low split of a: two plain sub-products.
+        //   r = a0 * b + (a1 * b) << 64m
+        mulRecLimbs(r, a, m, b, nb);
+        std::vector<u64> hi(na - m + nb, 0);
+        mulRecLimbs(hi.data(), a + m, na - m, b, nb);
+        addInto(r + m, na + nb - m, hi.data(), hi.size());
+        return;
+    }
+
+    // Balanced Karatsuba: a = a1 << 64m | a0, b = b1 << 64m | b0.
+    //   z0 = a0 b0, z2 = a1 b1, z1 = (a0+a1)(b0+b1) - z0 - z2
+    //   r  = z0 + z1 << 64m + z2 << 128m
+    const size_t na1 = na - m;
+    const size_t nb1 = nb - m;
+    std::vector<u64> z0(2 * m, 0);
+    std::vector<u64> z2(na1 + nb1, 0);
+    mulRecLimbs(z0.data(), a, m, b, m);
+    mulRecLimbs(z2.data(), a + m, na1, b + m, nb1);
+
+    const size_t sal = std::max(m, na1) + 1;
+    const size_t sbl = std::max(m, nb1) + 1;
+    std::vector<u64> sa(sal, 0);
+    std::vector<u64> sb(sbl, 0);
+    std::copy(a, a + m, sa.begin());
+    addInto(sa.data(), sal, a + m, na1);
+    std::copy(b, b + m, sb.begin());
+    addInto(sb.data(), sbl, b + m, nb1);
+
+    std::vector<u64> z1(sal + sbl, 0);
+    mulRecLimbs(z1.data(), sa.data(), sal, sb.data(), sbl);
+    subInto(z1.data(), z1.size(), z0.data(), z0.size());
+    subInto(z1.data(), z1.size(), z2.data(), z2.size());
+
+    std::copy(z0.begin(), z0.end(), r);
+    std::copy(z2.begin(), z2.end(), r + 2 * m);
+    // z1 << 64m fits: z1 = a0 b1 + a1 b0 < 2^(64 (na + nb - m)).
+    addInto(r + m, na + nb - m, z1.data(), sigLimbs(z1.data(), z1.size()));
+}
+
+} // namespace
 
 BigInt::BigInt(u64 v)
 {
@@ -262,18 +393,23 @@ BigInt::operator*(const BigInt &o) const
         return BigInt();
     BigInt r;
     r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        u64 carry = 0;
-        const u64 x = limbs_[i];
-        for (size_t j = 0; j < o.limbs_.size(); ++j) {
-            const u128 t = static_cast<u128>(x) * o.limbs_[j] +
-                           r.limbs_[i + j] + carry;
-            r.limbs_[i + j] = static_cast<u64>(t);
-            carry = static_cast<u64>(t >> 64);
-        }
-        r.limbs_[i + o.limbs_.size()] = carry;
-    }
+    mulRecLimbs(r.limbs_.data(), limbs_.data(), limbs_.size(),
+                o.limbs_.data(), o.limbs_.size());
     r.negative_ = negative_ != o.negative_;
+    r.trim();
+    return r;
+}
+
+BigInt
+BigInt::mulSchoolbook(const BigInt &a, const BigInt &b)
+{
+    if (a.isZero() || b.isZero())
+        return BigInt();
+    BigInt r;
+    r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    mulSchoolbookLimbs(r.limbs_.data(), a.limbs_.data(), a.limbs_.size(),
+                       b.limbs_.data(), b.limbs_.size());
+    r.negative_ = a.negative_ != b.negative_;
     r.trim();
     return r;
 }

@@ -22,6 +22,14 @@
 namespace finesse {
 
 /**
+ * Limb count of the smaller factor at and below which BigInt
+ * multiplication uses the schoolbook loop; above it, operator* switches
+ * to Karatsuba. Tuned empirically on x86-64 (crossover sits in the
+ * 20-30 limb range; setup-path operands below ~16 limbs never split).
+ */
+inline constexpr size_t kKaratsubaThresholdLimbs = 24;
+
+/**
  * Sign-magnitude arbitrary-precision integer with 64-bit limbs
  * (little-endian limb order). Value semantics throughout.
  */
@@ -86,6 +94,12 @@ class BigInt
     BigInt operator+(const BigInt &o) const;
     BigInt operator-(const BigInt &o) const;
     BigInt operator*(const BigInt &o) const;
+
+    /**
+     * Quadratic schoolbook product, regardless of operand size. The
+     * differential oracle for the Karatsuba path in operator*.
+     */
+    static BigInt mulSchoolbook(const BigInt &a, const BigInt &b);
 
     /** Quotient of truncated division (rounds toward zero). */
     BigInt operator/(const BigInt &o) const;

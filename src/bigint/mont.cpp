@@ -1,6 +1,8 @@
 /**
  * @file
- * MontCtx implementation: word-serial CIOS Montgomery multiplication.
+ * MontCtx implementation: fixed-width kernel dispatch (construction-time
+ * vtable selection), the generic runtime-width CIOS oracle, and binary
+ * extended-GCD inversion.
  */
 #include "bigint/mont.h"
 
@@ -18,6 +20,48 @@ negInv64(u64 m)
     return ~inv + 1; // -inv
 }
 
+/** True when a == 1 over n limbs. */
+bool
+isOneLimbs(const u64 *a, size_t n)
+{
+    if (a[0] != 1)
+        return false;
+    for (size_t i = 1; i < n; ++i) {
+        if (a[i])
+            return false;
+    }
+    return true;
+}
+
+/** Logical shift right by one bit; @p topBit (0/1) enters the msb. */
+void
+shr1(u64 *a, size_t n, u64 topBit)
+{
+    for (size_t i = 0; i + 1 < n; ++i)
+        a[i] = (a[i] >> 1) | (a[i + 1] << 63);
+    a[n - 1] = (a[n - 1] >> 1) | (topBit << 63);
+}
+
+/** x = x / 2 mod p (p odd): add p first when x is odd. */
+void
+halveMod(u64 *x, const u64 *p, size_t n)
+{
+    if (x[0] & 1) {
+        const u64 carry = limbs::add(x, x, p, n);
+        shr1(x, n, carry);
+    } else {
+        shr1(x, n, 0);
+    }
+}
+
+/** x = (x - y) mod p for x, y in [0, p). */
+void
+subMod(u64 *x, const u64 *y, const u64 *p, size_t n)
+{
+    if (limbs::sub(x, x, y, n))
+        limbs::add(x, x, p, n);
+}
+
 } // namespace
 
 MontCtx::MontCtx(const BigInt &p) : p_(p)
@@ -28,19 +72,39 @@ MontCtx::MontCtx(const BigInt &p) : p_(p)
     FINESSE_REQUIRE(n_ <= kMaxLimbs, "modulus too wide: ", p.bitLength(),
                     " bits");
     bits_ = p.bitLength();
-    p.toLimbs(pLimbs_.data(), kMaxLimbs);
+    p.toLimbs(pLimbs_.data(), n_);
     n0inv_ = negInv64(pLimbs_[0]);
+    vt_ = kernelVTable(n_, pLimbs_[n_ - 1]);
+    FINESSE_CHECK(vt_ != nullptr, "no kernel for width ", n_);
+    if (n_ == 4 && pLimbs_[n_ - 1] <= kSpareBitTopLimbMax) {
+        fast_ = FastPath::kCpp4;
+#if FINESSE_HAVE_X86_ADX
+        if (cpuHasAdx())
+            fast_ = FastPath::kAdx4;
+#endif
+    }
+    (p * p).toLimbs(pSquared_.data(), 2 * n_);
 
     const BigInt r = BigInt(u64{1}) << static_cast<int>(64 * n_);
-    r.mod(p).toLimbs(rModP_.data(), kMaxLimbs);
-    (r * r).mod(p).toLimbs(r2ModP_.data(), kMaxLimbs);
+    r.mod(p).toLimbs(rModP_.data(), n_);
+    (r * r).mod(p).toLimbs(r2ModP_.data(), n_);
+}
+
+// Compiled unconditionally (call sites are NDEBUG-gated in the header)
+// so TUs built with and without NDEBUG link against the same library.
+void
+MontCtx::assertTailZero(const Residue &a) const
+{
+    for (size_t i = n_; i < kMaxLimbs; ++i)
+        FINESSE_CHECK(a[i] == 0, "nonzero Residue tail limb ", i,
+                      " (active width ", n_, ")");
 }
 
 Residue
 MontCtx::toMont(const BigInt &v) const
 {
     Residue tmp{};
-    v.mod(p_).toLimbs(tmp.data(), kMaxLimbs);
+    v.mod(p_).toLimbs(tmp.data(), n_);
     Residue out{};
     mul(out, tmp, r2ModP_);
     return out;
@@ -58,14 +122,14 @@ MontCtx::fromMont(const Residue &a) const
 }
 
 void
-MontCtx::add(Residue &r, const Residue &a, const Residue &b) const
+MontCtx::addGeneric(Residue &r, const Residue &a, const Residue &b) const
 {
     const u64 carry = limbs::add(r.data(), a.data(), b.data(), n_);
     limbs::condSubModulus(r.data(), pLimbs_.data(), n_, carry);
 }
 
 void
-MontCtx::sub(Residue &r, const Residue &a, const Residue &b) const
+MontCtx::subGeneric(Residue &r, const Residue &a, const Residue &b) const
 {
     const u64 borrow = limbs::sub(r.data(), a.data(), b.data(), n_);
     if (borrow)
@@ -73,7 +137,7 @@ MontCtx::sub(Residue &r, const Residue &a, const Residue &b) const
 }
 
 void
-MontCtx::neg(Residue &r, const Residue &a) const
+MontCtx::negGeneric(Residue &r, const Residue &a) const
 {
     if (limbs::isZero(a.data(), n_)) {
         limbs::zero(r.data(), n_);
@@ -83,7 +147,7 @@ MontCtx::neg(Residue &r, const Residue &a) const
 }
 
 void
-MontCtx::mul(Residue &r, const Residue &a, const Residue &b) const
+MontCtx::mulGeneric(Residue &r, const Residue &a, const Residue &b) const
 {
     // CIOS: interleaved multiply and Montgomery reduction.
     u64 t[kMaxLimbs + 2] = {0};
@@ -117,19 +181,56 @@ MontCtx::mul(Residue &r, const Residue &a, const Residue &b) const
     }
     for (size_t i = 0; i < n; ++i)
         r[i] = t[i];
-    for (size_t i = n; i < kMaxLimbs; ++i)
-        r[i] = 0;
     limbs::condSubModulus(r.data(), pLimbs_.data(), n, t[n]);
+}
+
+void
+MontCtx::sumOfProducts(Residue &r, const MontOpTerm *terms,
+                       size_t count) const
+{
+    MontTerm raw[8];
+    FINESSE_CHECK(count <= 8, "sumOfProducts: too many terms");
+    for (size_t i = 0; i < count; ++i) {
+        checkTails(*terms[i].a, *terms[i].b);
+        raw[i] = {terms[i].a->data(), terms[i].b->data(), terms[i].coeff};
+    }
+    vt_->sumOfProducts(r.data(), raw, count, params());
+}
+
+void
+MontCtx::sumOfProductsGeneric(Residue &r, const MontOpTerm *terms,
+                              size_t count) const
+{
+    // Reduce every product eagerly: the semantics the lazy kernel must
+    // reproduce bit-for-bit.
+    Residue acc{};
+    for (size_t i = 0; i < count; ++i) {
+        Residue prod{};
+        mulGeneric(prod, *terms[i].a, *terms[i].b);
+        i64 c = terms[i].coeff;
+        const bool negate = c < 0;
+        if (negate)
+            c = -c;
+        for (i64 rep = 0; rep < c; ++rep) {
+            if (negate)
+                subGeneric(acc, acc, prod);
+            else
+                addGeneric(acc, acc, prod);
+        }
+    }
+    r = acc;
 }
 
 void
 MontCtx::pow(Residue &r, const Residue &a, const BigInt &e) const
 {
     FINESSE_REQUIRE(!e.isNegative(), "negative exponent in MontCtx::pow");
-    Residue result = rModP_; // Montgomery one
-    Residue base = a;
+    Residue result{};
+    limbs::copy(result.data(), rModP_.data(), n_); // Montgomery one
+    Residue base{};
+    limbs::copy(base.data(), a.data(), n_);
     for (int i = e.bitLength(); i-- > 0;) {
-        mul(result, result, result);
+        sqr(result, result);
         if (e.bit(i))
             mul(result, result, base);
     }
@@ -137,9 +238,60 @@ MontCtx::pow(Residue &r, const Residue &a, const BigInt &e) const
 }
 
 void
-MontCtx::inv(Residue &r, const Residue &a) const
+MontCtx::invFermat(Residue &r, const Residue &a) const
 {
     pow(r, a, p_ - BigInt(u64{2}));
+}
+
+void
+MontCtx::inv(Residue &r, const Residue &a) const
+{
+    checkTail(a);
+    if (isZero(a)) {
+        limbs::zero(r.data(), n_);
+        return;
+    }
+    // Binary extended GCD on (aR, p) for odd p. Invariants:
+    //   x1 * aR == u (mod p),  x2 * aR == v (mod p)
+    // so when u (or v) reaches 1, x1 (or x2) is (aR)^-1 = a^-1 R^-1.
+    const size_t n = n_;
+    const u64 *p = pLimbs_.data();
+    u64 u[kMaxLimbs], v[kMaxLimbs], x1[kMaxLimbs], x2[kMaxLimbs];
+    limbs::copy(u, a.data(), n);
+    limbs::copy(v, p, n);
+    limbs::zero(x1, n);
+    x1[0] = 1;
+    limbs::zero(x2, n);
+
+    while (!isOneLimbs(u, n) && !isOneLimbs(v, n)) {
+        while ((u[0] & 1) == 0) {
+            shr1(u, n, 0);
+            halveMod(x1, p, n);
+        }
+        while ((v[0] & 1) == 0) {
+            shr1(v, n, 0);
+            halveMod(x2, p, n);
+        }
+        if (limbs::cmp(u, v, n) >= 0) {
+            limbs::sub(u, u, v, n);
+            subMod(x1, x2, p, n);
+        } else {
+            limbs::sub(v, v, u, n);
+            subMod(x2, x1, p, n);
+        }
+        if (limbs::isZero(u, n) || limbs::isZero(v, n)) {
+            // gcd(a, p) != 1 (composite modulus): no inverse exists.
+            // Zero is the documented degenerate result.
+            limbs::zero(r.data(), n);
+            return;
+        }
+    }
+
+    Residue y{};
+    limbs::copy(y.data(), isOneLimbs(u, n) ? x1 : x2, n);
+    // y = a^-1 R^-1; two Montgomery multiplications by R^2 yield a^-1 R.
+    mul(r, y, r2ModP_);
+    mul(r, r, r2ModP_);
 }
 
 } // namespace finesse

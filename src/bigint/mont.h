@@ -1,8 +1,22 @@
 /**
  * @file
  * Montgomery-domain modular arithmetic context. One MontCtx exists per
- * base field Fp and provides the word-serial CIOS multiplication that the
- * paper's mmul hardware unit implements in a Karatsuba-Wallace pipeline.
+ * base field Fp and provides the CIOS multiplication that the paper's
+ * mmul hardware unit implements in a Karatsuba-Wallace pipeline.
+ *
+ * Hot-path arithmetic dispatches through a per-width KernelVTable
+ * (bigint/montkernel.h) chosen once at construction, so Fp and the whole
+ * pairing tower run fully unrolled fixed-limb kernels with zero per-call
+ * width branching. The generic runtime-width loops remain available as
+ * *Generic methods — they are the differential oracle for
+ * tests/test_montkernel.cpp and the baseline for bench/micro_field_ops.
+ *
+ * Residue active-width contract: a Residue carries kMaxLimbs of storage
+ * but only the low limbCount() limbs are meaningful; the tail is
+ * zero-filled at construction (Residue{} / Fp's member initializer) and
+ * no operation ever writes beyond the active width, so the tail stays
+ * zero for the lifetime of the value. Debug builds assert this on every
+ * operand.
  */
 #ifndef FINESSE_BIGINT_MONT_H_
 #define FINESSE_BIGINT_MONT_H_
@@ -11,11 +25,20 @@
 
 #include "bigint/bigint.h"
 #include "bigint/limbs.h"
+#include "bigint/montkernel.h"
 
 namespace finesse {
 
 /** Raw residue value: fixed storage, runtime active width. */
 using Residue = std::array<u64, kMaxLimbs>;
+
+/** One term of a lazy sum-of-products: coeff * a * b, small |coeff|. */
+struct MontOpTerm
+{
+    const Residue *a;
+    const Residue *b;
+    i64 coeff;
+};
 
 /**
  * Montgomery multiplication context for an odd modulus p of at most
@@ -45,17 +68,114 @@ class MontCtx
     BigInt fromMont(const Residue &a) const;
 
     // Arithmetic (all inputs/outputs in Montgomery domain) --------------
-    void add(Residue &r, const Residue &a, const Residue &b) const;
-    void sub(Residue &r, const Residue &a, const Residue &b) const;
-    void neg(Residue &r, const Residue &a) const;
-    void mul(Residue &r, const Residue &a, const Residue &b) const;
-    void sqr(Residue &r, const Residue &a) const { mul(r, a, a); }
+    void
+    add(Residue &r, const Residue &a, const Residue &b) const
+    {
+        checkTails(a, b);
+        vt_->add(r.data(), a.data(), b.data(), params());
+    }
+
+    void
+    sub(Residue &r, const Residue &a, const Residue &b) const
+    {
+        checkTails(a, b);
+        vt_->sub(r.data(), a.data(), b.data(), params());
+    }
+
+    void
+    neg(Residue &r, const Residue &a) const
+    {
+        checkTail(a);
+        vt_->neg(r.data(), a.data(), params());
+    }
+
+    void
+    mul(Residue &r, const Residue &a, const Residue &b) const
+    {
+        checkTails(a, b);
+        // Devirtualized fast path for the dominant pairing-curve width
+        // (4 limbs, spare top bit): lets the compiler inline the
+        // unrolled kernel straight into Fp call sites, skipping the
+        // indirect call. On x86-64 with BMI2+ADX the hand-scheduled
+        // dual-carry-chain asm kernel is used instead. Other widths
+        // still reach their fixed-limb kernel through the vtable.
+        switch (fast_) {
+#if FINESSE_HAVE_X86_ADX
+          case FastPath::kAdx4:
+            montMulAdx4(r.data(), a.data(), b.data(), pLimbs_.data(),
+                        n0inv_);
+            return;
+#endif
+          case FastPath::kCpp4:
+            MontKernel<4>::mulSpareBit(r.data(), a.data(), b.data(),
+                                       params());
+            return;
+          default:
+            vt_->mul(r.data(), a.data(), b.data(), params());
+        }
+    }
+
+    /** Dedicated squaring kernel (cross-product doubling); on the ADX
+     *  fast path the asm multiplier outruns the portable squaring. */
+    void
+    sqr(Residue &r, const Residue &a) const
+    {
+        checkTail(a);
+        switch (fast_) {
+#if FINESSE_HAVE_X86_ADX
+          case FastPath::kAdx4:
+            montMulAdx4(r.data(), a.data(), a.data(), pLimbs_.data(),
+                        n0inv_);
+            return;
+#endif
+          case FastPath::kCpp4:
+            MontKernel<4>::sqr(r.data(), a.data(), params());
+            return;
+          default:
+            vt_->sqr(r.data(), a.data(), params());
+        }
+    }
+
+    /**
+     * r = sum_i coeff_i * a_i * b_i with a single Montgomery reduction
+     * (lazy reduction). Coefficients must be small (|coeff| and their
+     * sum comfortably below 2^60); inputs are fully reduced residues and
+     * the result is fully reduced.
+     */
+    void sumOfProducts(Residue &r, const MontOpTerm *terms,
+                       size_t count) const;
 
     /** r = a^e (e is a plain non-negative integer, not a residue). */
     void pow(Residue &r, const Residue &a, const BigInt &e) const;
 
-    /** r = a^(p-2) = a^-1 for prime p; zero maps to zero. */
+    /**
+     * r = a^-1 via binary extended GCD (zero maps to zero). For a
+     * composite modulus and gcd(a, p) != 1 no inverse exists and zero
+     * is returned.
+     */
     void inv(Residue &r, const Residue &a) const;
+
+    /** Fermat-ladder inverse a^(p-2): the historical path, kept as the
+     *  differential oracle for inv (prime p only). */
+    void invFermat(Residue &r, const Residue &a) const;
+
+    // Generic runtime-width oracle ---------------------------------------
+    // One compiled loop serving every width; bit-identical results to
+    // the fixed-limb kernels above. Used by differential tests and the
+    // micro_field_ops speedup baseline.
+    void addGeneric(Residue &r, const Residue &a, const Residue &b) const;
+    void subGeneric(Residue &r, const Residue &a, const Residue &b) const;
+    void negGeneric(Residue &r, const Residue &a) const;
+    void mulGeneric(Residue &r, const Residue &a, const Residue &b) const;
+
+    void
+    sqrGeneric(Residue &r, const Residue &a) const
+    {
+        mulGeneric(r, a, a);
+    }
+
+    void sumOfProductsGeneric(Residue &r, const MontOpTerm *terms,
+                              size_t count) const;
 
     /** Montgomery representation of 1. */
     const Residue &one() const { return rModP_; }
@@ -72,13 +192,46 @@ class MontCtx
     }
 
   private:
+    MontParams
+    params() const
+    {
+        return {pLimbs_.data(), pSquared_.data(), n0inv_};
+    }
+
+    void assertTailZero(const Residue &a) const;
+
+#ifndef NDEBUG
+    void checkTail(const Residue &a) const { assertTailZero(a); }
+
+    void
+    checkTails(const Residue &a, const Residue &b) const
+    {
+        assertTailZero(a);
+        assertTailZero(b);
+    }
+#else
+    void checkTail(const Residue &) const {}
+    void checkTails(const Residue &, const Residue &) const {}
+#endif
+
+    /** Devirtualized hot paths for 4-limb spare-top-bit moduli. */
+    enum class FastPath : u8
+    {
+        kNone = 0, ///< dispatch through the width vtable
+        kCpp4,     ///< header-inline MontKernel<4> spare-bit kernels
+        kAdx4,     ///< hand-scheduled x86-64 mulx/adcx/adox kernel
+    };
+
     BigInt p_;
     size_t n_;           ///< active limb count
     int bits_;           ///< modulus bit length
     u64 n0inv_;          ///< -p^-1 mod 2^64
+    const KernelVTable *vt_ = nullptr; ///< fixed-width kernel dispatch
+    FastPath fast_ = FastPath::kNone;
     Residue pLimbs_{};   ///< modulus limbs
     Residue rModP_{};    ///< R mod p (Montgomery one)
     Residue r2ModP_{};   ///< R^2 mod p (for toMont)
+    std::array<u64, 2 * kMaxLimbs> pSquared_{}; ///< p^2 (lazy negatives)
 };
 
 } // namespace finesse

@@ -190,6 +190,45 @@ class Fp
     /** Frobenius on the prime field is the identity. */
     Fp frob() const { return *this; }
 
+    // Lazy reduction ------------------------------------------------------
+    /**
+     * Marker consumed by the extension templates (field/ext.h): when the
+     * base element type advertises this, quadratic/cubic mul and sqr use
+     * sumOfProducts to fold several base multiplications into a single
+     * Montgomery reduction. The symbolic twin (SymFp) deliberately does
+     * NOT define it — IR emission keeps the variant-dispatched formulas.
+     */
+    static constexpr bool kHasSumOfProducts = true;
+
+    /** One lazy term: coeff * a * b with a small integer coefficient. */
+    struct Term
+    {
+        const Fp *a;
+        const Fp *b;
+        i64 coeff;
+    };
+
+    /**
+     * sum_i coeff_i * a_i * b_i with ONE Montgomery reduction instead of
+     * one per product (backed by MontKernel wideMul + montRedc). Result
+     * is fully reduced; observable values are identical to the eager
+     * formula.
+     */
+    static Fp
+    sumOfProducts(const Ctx *ctx, std::initializer_list<Term> terms)
+    {
+        MontOpTerm raw[8];
+        size_t k = 0;
+        for (const Term &t : terms) {
+            FINESSE_CHECK(k < 8, "sumOfProducts: too many terms");
+            raw[k++] = {&t.a->v_, &t.b->v_, t.coeff};
+        }
+        Fp r;
+        r.ctx_ = ctx;
+        ctx->mont.sumOfProducts(r.v_, raw, k);
+        return r;
+    }
+
     /** Fp-scalar multiplication (bottom of the scaleScalar recursion). */
     Fp scaleScalar(const Fp &s) const { return mul(s); }
 

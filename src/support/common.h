@@ -26,6 +26,16 @@ using i32 = std::int32_t;
 using i64 = std::int64_t;
 using u128 = unsigned __int128;
 
+/**
+ * Force-inline for short arithmetic kernels whose call overhead rivals
+ * their body cost. Use sparingly: per-call-site code growth is real.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define FINESSE_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define FINESSE_FORCE_INLINE inline
+#endif
+
 /** Exception thrown for unrecoverable internal errors (framework bugs). */
 class PanicError : public std::logic_error
 {

@@ -42,6 +42,34 @@ TEST(BigInt, MulKnownValue)
               "121932631356500531469135800347203169112635269");
 }
 
+TEST(BigInt, KaratsubaMatchesSchoolbook)
+{
+    // Randomized differential across widths spanning the Karatsuba
+    // threshold, including heavily unbalanced operand pairs.
+    Rng rng(41);
+    const int edge = static_cast<int>(kKaratsubaThresholdLimbs) * 64;
+    const int sizes[] = {1,        63,       64,       65,
+                         edge - 1, edge,     edge + 1, 2 * edge,
+                         3 * edge, 4 * edge, 8 * edge};
+    for (int abits : sizes) {
+        for (int bbits : sizes) {
+            BigInt a = BigInt::randomBits(rng, abits);
+            BigInt b = BigInt::randomBits(rng, bbits);
+            if (rng.below(2))
+                a = -a;
+            if (rng.below(2))
+                b = -b;
+            EXPECT_EQ(a * b, BigInt::mulSchoolbook(a, b))
+                << abits << "x" << bbits;
+        }
+    }
+    // All-ones operands maximize carry propagation in the z1 combine.
+    const BigInt ones = (BigInt(u64{1}) << (4 * edge)) - BigInt(u64{1});
+    EXPECT_EQ(ones * ones, BigInt::mulSchoolbook(ones, ones));
+    EXPECT_EQ(ones * BigInt(u64{1}), ones);
+    EXPECT_EQ((ones * BigInt()).toString(), "0");
+}
+
 TEST(BigInt, ShiftRoundTrip)
 {
     const BigInt a = BigInt::fromString("0xdeadbeefcafebabe1234567890");
