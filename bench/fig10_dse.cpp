@@ -243,6 +243,20 @@ main(int argc, char **argv)
         .count("distributed_groups", dstats.groups)
         .count("distributed_worker_deaths",
                static_cast<size_t>(dstats.workerDeaths))
+        // Fault-tolerance counters (informational, not gated: all zero
+        // on a healthy run, non-zero under an ambient FINESSE_DSE_FAULT
+        // plan or a loaded machine -- trend tracking only).
+        .count("distributed_redispatches",
+               static_cast<size_t>(dstats.redispatches))
+        .count("distributed_timeout_kills",
+               static_cast<size_t>(dstats.timeoutKills))
+        .count("distributed_respawns",
+               static_cast<size_t>(dstats.respawns))
+        .count("distributed_hedges", static_cast<size_t>(dstats.hedges))
+        .count("distributed_handshake_failures",
+               static_cast<size_t>(dstats.handshakeFailures))
+        .count("distributed_fallback_groups",
+               static_cast<size_t>(dstats.fallbackGroups))
         .count("parallel_mismatches", parallelMismatches)
         .count("warm_mismatches", warmMismatches)
         .count("distributed_mismatches", distributedMismatches)

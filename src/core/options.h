@@ -16,6 +16,13 @@
  *                         concurrency, 1 = serial; default 0)
  *   dse_workers           sweep worker SUBPROCESSES (multi-process
  *                         fan-out; 0 = in-process on `jobs` threads)
+ *   dse.retries           re-dispatches per group after worker deaths
+ *   dse.liveness_ms       no-progress kill deadline (0 = env/default)
+ *   dse.group_deadline_ms hard per-dispatch deadline (0 = disabled)
+ *   dse.hedge_ms          straggler hedging threshold (0 = disabled)
+ *   dse.respawns          replacement-worker budget (-1 = 2x width)
+ *   dse.fallback_local    evaluate in-process instead of failing when
+ *                         retries/pool run out (default true)
  *   hw.long_lat, hw.short_lat, hw.inv_lat        itineraries
  *   hw.issue_width, hw.lin_units, hw.banks       datapath shape
  *   hw.fifo, hw.fifo_depth, hw.beta              write-back / affinity
@@ -27,6 +34,7 @@
 #define FINESSE_CORE_OPTIONS_H_
 
 #include "core/framework.h"
+#include "dse/distributor.h"
 #include "support/config.h"
 
 namespace finesse {
@@ -107,6 +115,29 @@ optionsFromConfig(const Config &cfg)
                                 : CoordSystem::Jacobian;
     opt.variants.cyclotomicSqr = cfg.getBool("variants.cyclo", true);
     return opt;
+}
+
+/**
+ * Overlay `dse.*` fault-tolerance keys onto @p dopts (fields without a
+ * key keep their current value, so callers can pre-seed defaults).
+ */
+inline void
+applyDistributorConfig(const Config &cfg, DistributorOptions &dopts)
+{
+    dopts.maxGroupRetries = static_cast<int>(
+        cfg.getInt("dse.retries", dopts.maxGroupRetries));
+    FINESSE_REQUIRE(dopts.maxGroupRetries >= 0,
+                    "dse.retries must be >= 0");
+    dopts.livenessTimeoutMs = static_cast<int>(
+        cfg.getInt("dse.liveness_ms", dopts.livenessTimeoutMs));
+    dopts.groupDeadlineMs = static_cast<int>(
+        cfg.getInt("dse.group_deadline_ms", dopts.groupDeadlineMs));
+    dopts.hedgeAfterMs = static_cast<int>(
+        cfg.getInt("dse.hedge_ms", dopts.hedgeAfterMs));
+    dopts.maxRespawns = static_cast<int>(
+        cfg.getInt("dse.respawns", dopts.maxRespawns));
+    dopts.fallbackLocal =
+        cfg.getBool("dse.fallback_local", dopts.fallbackLocal);
 }
 
 } // namespace finesse

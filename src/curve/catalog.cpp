@@ -90,4 +90,26 @@ findCurve(const std::string &name)
     fatal("unknown curve: ", name);
 }
 
+u64
+catalogHash()
+{
+    // FNV-1a over every field of every CurveDef, in catalog order.
+    // Folding in BigInt::hashValue() covers the family parameter; the
+    // name bytes cover renames; the order covers reorderings (group
+    // ids index into the grouping, which iterates the catalog).
+    u64 h = 14695981039346656037ull;
+    const auto mix = [&h](u64 v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const CurveDef &def : curveCatalog()) {
+        for (const char c : def.name)
+            mix(static_cast<u8>(c));
+        mix(static_cast<u64>(def.family));
+        mix(def.x.hashValue());
+        mix(static_cast<u64>(def.securityBits));
+    }
+    return h;
+}
+
 } // namespace finesse

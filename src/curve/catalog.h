@@ -61,6 +61,15 @@ const std::vector<CurveDef> &curveCatalog();
 /** Look up a catalog curve by name; fatal if unknown. */
 const CurveDef &findCurve(const std::string &name);
 
+/**
+ * FNV-1a fingerprint of the full curve catalog (names, families,
+ * family parameters, security estimates). Exchanged in the distributed
+ * sweep's Hello handshake so a master never hands work to a worker
+ * built from a different catalog: the trace-key grouping and every
+ * derived curve constant would silently diverge.
+ */
+u64 catalogHash();
+
 } // namespace finesse
 
 #endif // FINESSE_CURVE_CATALOG_H_

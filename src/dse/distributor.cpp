@@ -1,60 +1,237 @@
 /**
  * @file
- * Master/worker implementation of the distributed sweep.
+ * Master/worker implementation of the fault-tolerant distributed
+ * sweep.
  *
  * Master: groups requests by front-end trace key (non-batchable
  * requests become singleton groups), spawns worker subprocesses, and
- * runs a poll() loop with one in-flight group per worker. A worker
- * that hits EOF or poisons its stream (bad frame) is declared dead:
- * its in-flight group is re-queued at the FRONT of the pending list
- * (bounded by maxGroupRetries) and handed to the next idle live
- * worker. Results are scattered into the output by original request
- * index, so the merge is the same index-ordered reduction as
- * Explorer::evaluateAll.
+ * runs a poll() loop with finite timeouts. Workers are admitted by a
+ * Hello handshake (protocol version + curve-catalog hash) before any
+ * dispatch; one group is in flight per worker. A worker that hits
+ * EOF, poisons its stream (bad frame) or misses its liveness/group
+ * deadline is SIGKILLed, reaped at once, and declared dead: its
+ * in-flight group is re-queued at the FRONT of the pending list under
+ * a per-group retry budget with capped exponential backoff, and a
+ * replacement worker is spawned while the respawn budget lasts. Once
+ * the backlog drains, long-running stragglers are hedged: the same
+ * group goes to an idle worker and the first result wins (safe --
+ * both compute identical bits). When a group exhausts its retries or
+ * the pool empties for good, fallbackLocal evaluates the remainder
+ * in-process via Explorer::evaluateAll. Results are scattered into
+ * the output by original request index, so the merge is the same
+ * index-ordered reduction as Explorer::evaluateAll.
  *
- * Worker: a blocking read loop; each GroupRequest is evaluated with
- * Explorer::evaluateAll(requests, jobs=1) -- the batched TracePrep/
- * BackendScratch path -- and answered with one GroupResult frame.
+ * Worker: sends Hello, then a blocking read loop. Each GroupRequest
+ * is evaluated with Explorer::evaluateAll(requests, jobs=1) -- the
+ * batched TracePrep/BackendScratch path -- under a heartbeat thread
+ * (unsolicited Pongs every kHeartbeatMs, so a busy-but-healthy worker
+ * is never mistaken for a hung one) and answered with one GroupResult
+ * frame; Pings are answered with Pongs. A FINESSE_DSE_FAULT plan in
+ * the environment injects crashes/hangs/corruption at scripted points
+ * (the chaos harness of tests/test_chaos_dse.cpp).
  */
 #include "dse/distributor.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include <poll.h>
 #include <unistd.h>
 
-#include "dse/wire.h"
+#include "curve/catalog.h"
 #include "support/subprocess.h"
 
 namespace finesse {
 
 namespace {
 
-/** Env var that makes a worker SIGKILL itself on its first group. */
-constexpr const char *kKillEnv = "FINESSE_DSE_KILL9";
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
 
-bool
-writeFd(int fd, const std::vector<u8> &bytes)
+/** Worker heartbeat period; masters time out after many multiples. */
+constexpr int kHeartbeatMs = 100;
+
+/** Floor on the handshake deadline: exec under sanitizers is slow. */
+constexpr int kHandshakeFloorMs = 5000;
+
+/** Liveness default when neither the option nor the env is set. */
+constexpr int kDefaultLivenessMs = 10000;
+
+int
+envMsOr(const char *name, int dflt)
 {
-    return writeAllFd(fd, bytes.data(), bytes.size());
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n <= 0)
+        return dflt;
+    return static_cast<int>(n);
 }
 
-struct WorkerState
+i64
+msUntil(Clock::time_point t, Clock::time_point now)
 {
+    return std::chrono::duration_cast<milliseconds>(t - now).count();
+}
+
+/** One pending/in-flight trace-key group. */
+struct Group
+{
+    std::vector<size_t> indices;
+    int retries = 0;
+    int inFlight = 0; ///< live workers currently evaluating it
+    bool completed = false;
+    bool hedged = false;
+    Clock::time_point eligibleAt{}; ///< retry-backoff gate
+};
+
+struct WorkerSlot
+{
+    enum class State {
+        Dead,      ///< not running (never spawned / declared dead)
+        Handshake, ///< spawned, Hello not yet validated
+        Idle,      ///< admitted, no group in flight
+        Busy,      ///< evaluating a group
+    };
+
     Subprocess proc;
     wire::FrameBuffer frames;
-    bool alive = false;
-    long inFlight = -1; ///< group id, -1 = idle
+    State state = State::Dead;
+    long group = -1; ///< in-flight group id, -1 = none
+    Clock::time_point lastProgress{}; ///< last bytes read (any frame)
+    Clock::time_point dispatchedAt{}; ///< current group's dispatch time
+    Clock::time_point lastPingAt{};
+    std::vector<std::string> env; ///< respawns reuse the slot's env
 };
 
 } // namespace
+
+std::string
+DistributorStats::describe() const
+{
+    std::ostringstream os;
+    os << "groups=" << groups << " dispatched=" << dispatches
+       << " retried=" << redispatches << " hedged=" << hedges
+       << " stale=" << staleResults << " | workers spawned="
+       << workersSpawned << " died=" << workerDeaths << " (signaled="
+       << workersSignaled << " exited=" << workersExited
+       << " timeout-kills=" << timeoutKills << " handshake-rejects="
+       << handshakeFailures << ") respawned=" << respawns
+       << " | fallback-local=" << fallbackGroups << " groups/"
+       << fallbackPoints << " points | pings=" << pingsSent
+       << " pongs=" << pongsReceived;
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    const auto parseIndex = [&](const std::string &text,
+                                const std::string &term) {
+        char *end = nullptr;
+        const long v = std::strtol(text.c_str(), &end, 10);
+        if (text.empty() || *end != '\0' || v < 0)
+            fatal("fault plan: bad index '", text, "' in '", term, "'");
+        return static_cast<int>(v);
+    };
+
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t semi = spec.find(';', start);
+        if (semi == std::string::npos)
+            semi = spec.size();
+        const std::string term = spec.substr(start, semi - start);
+        start = semi + 1;
+        if (term.empty())
+            continue;
+
+        const size_t at = term.find('@');
+        if (at == std::string::npos)
+            fatal("fault plan: missing '@' in '", term, "'");
+        const std::string action = term.substr(0, at);
+        const std::string site = term.substr(at + 1);
+
+        FaultAction fa;
+        if (action == "kill") {
+            fa.kind = FaultAction::Kind::Kill;
+        } else if (action == "hang") {
+            fa.kind = FaultAction::Kind::Hang;
+        } else if (action == "garbage") {
+            fa.kind = FaultAction::Kind::Garbage;
+        } else if (action == "bad_version") {
+            fa.kind = FaultAction::Kind::BadHelloVersion;
+        } else if (action == "bad_hash") {
+            fa.kind = FaultAction::Kind::BadHelloHash;
+        } else if (action.rfind("stall_ms=", 0) == 0) {
+            fa.kind = FaultAction::Kind::Stall;
+            fa.stallMs = parseIndex(action.substr(9), term);
+        } else {
+            fatal("fault plan: unknown action '", action, "'");
+        }
+
+        if (site == "hello") {
+            fa.site = FaultAction::Site::Hello;
+        } else if (site.rfind("group:", 0) == 0) {
+            fa.site = FaultAction::Site::Group;
+            fa.index = parseIndex(site.substr(6), term);
+        } else if (site.rfind("frame:", 0) == 0) {
+            fa.site = FaultAction::Site::Frame;
+            fa.index = parseIndex(site.substr(6), term);
+        } else {
+            fatal("fault plan: unknown site '", site, "'");
+        }
+        plan.actions.push_back(fa);
+    }
+    return plan;
+}
+
+FaultAction *
+FaultPlan::fire(FaultAction::Site site, int index)
+{
+    for (FaultAction &fa : actions) {
+        if (fa.fired || fa.site != site)
+            continue;
+        if (fa.site != FaultAction::Site::Hello && fa.index != index)
+            continue;
+        fa.fired = true;
+        return &fa;
+    }
+    return nullptr;
+}
+
+std::string
+helloRejectReason(const wire::Hello &hello)
+{
+    if (hello.version != wire::kProtocolVersion) {
+        std::ostringstream os;
+        os << "protocol version mismatch: worker v" << hello.version
+           << ", master v" << wire::kProtocolVersion;
+        return os.str();
+    }
+    if (hello.catalogHash != catalogHash()) {
+        std::ostringstream os;
+        os << "curve-catalog hash mismatch: worker 0x" << std::hex
+           << hello.catalogHash << ", master 0x" << catalogHash()
+           << " (heterogeneous builds cannot share a sweep)";
+        return os.str();
+    }
+    return {};
+}
 
 std::vector<DsePoint>
 distributeEvaluate(const std::string &curve,
@@ -71,25 +248,21 @@ distributeEvaluate(const std::string &curve,
     // Group by front-end trace key (groupByTraceKey: the SAME
     // grouping the in-process engine applies) so one dispatch
     // amortizes the worker-side trace + prep across every point that
-    // shares it. Requests the batched engine would not group
-    // (non-standard backend pipeline, cache disabled) ride as
+    // shares it. Requests the batched engine would not group ride as
     // singleton groups; the worker's evaluateAll applies the same
     // split, so the evaluation path per point is identical either
     // way.
-    struct Group
-    {
-        std::vector<size_t> indices;
-        int retries = 0;
-    };
     std::vector<Group> groups;
     {
         GroupedRequests grouping = groupByTraceKey(curve, points);
         groups.reserve(grouping.byKey.size() +
                        grouping.ungrouped.size());
         for (std::vector<size_t> &indices : grouping.byKey)
-            groups.push_back({std::move(indices), 0});
+            groups.push_back({std::move(indices), 0, 0, false, false,
+                              Clock::time_point{}});
         for (size_t i : grouping.ungrouped)
-            groups.push_back({{i}, 0});
+            groups.push_back(
+                {{i}, 0, 0, false, false, Clock::time_point{}});
     }
     stats.groups = groups.size();
 
@@ -97,30 +270,132 @@ distributeEvaluate(const std::string &curve,
     if (cmd.empty())
         cmd = {selfExePath(), "dse-worker"};
 
+    const int livenessMs =
+        opts.livenessTimeoutMs > 0
+            ? opts.livenessTimeoutMs
+            : envMsOr("FINESSE_DSE_LIVENESS_MS", kDefaultLivenessMs);
+    const int handshakeMs = std::max(livenessMs, kHandshakeFloorMs);
+
     const int n =
         static_cast<int>(std::min<size_t>(static_cast<size_t>(workers),
                                           groups.size()));
-    std::vector<WorkerState> pool(static_cast<size_t>(n));
+    int respawnBudget = opts.maxRespawns >= 0 ? opts.maxRespawns : 2 * n;
+
+    std::vector<WorkerSlot> pool(static_cast<size_t>(n));
     for (int w = 0; w < n; ++w) {
-        std::vector<std::string> env;
-        if (opts.killAllWorkers || w == opts.killWorkerIndex)
-            env.push_back(std::string(kKillEnv) + "=1");
-        pool[static_cast<size_t>(w)].proc.spawn(cmd, env);
-        pool[static_cast<size_t>(w)].alive = true;
-        ++stats.workersSpawned;
+        WorkerSlot &ws = pool[static_cast<size_t>(w)];
+        ws.env = opts.workerEnv;
+        std::string plan;
+        bool explicitPlan = false;
+        if (!opts.workerFaultPlans.empty()) {
+            plan = opts.workerFaultPlans[static_cast<size_t>(w) %
+                                         opts.workerFaultPlans.size()];
+            explicitPlan = true;
+        }
+        if (plan.empty() &&
+            (opts.killAllWorkers || w == opts.killWorkerIndex)) {
+            plan = "kill@group:0";
+            explicitPlan = true;
+        }
+        // An explicit plan (even an empty one) is always exported so
+        // it shadows any ambient FINESSE_DSE_FAULT: chaos tests pin
+        // exactly which slots fault no matter what CI injects.
+        if (explicitPlan)
+            ws.env.push_back(std::string(kFaultPlanEnv) + "=" + plan);
     }
+
+    const auto spawnSlot = [&](WorkerSlot &ws) {
+        ws.proc = Subprocess(); // drop any reaped predecessor's fds
+        ws.frames = wire::FrameBuffer();
+        ws.proc.spawn(cmd, ws.env);
+        ws.state = WorkerSlot::State::Handshake;
+        ws.group = -1;
+        ws.lastProgress = Clock::now();
+        ws.lastPingAt = ws.lastProgress;
+        ++stats.workersSpawned;
+    };
+    for (WorkerSlot &ws : pool)
+        spawnSlot(ws);
 
     std::deque<size_t> pending;
     for (size_t g = 0; g < groups.size(); ++g)
         pending.push_back(g);
     size_t completed = 0;
 
-    auto dispatchTo = [&](WorkerState &ws) -> bool {
-        if (pending.empty())
-            return true;
-        const size_t g = pending.front();
-        pending.pop_front();
-        ws.inFlight = static_cast<long>(g);
+    // Graceful degradation: evaluate a group in-process, on the same
+    // batched engine a worker would use -- identical bits, no fatal.
+    std::optional<Explorer> localEx;
+    const auto evaluateLocally = [&](size_t g) {
+        if (!localEx)
+            localEx.emplace(curve);
+        Group &grp = groups[g];
+        std::vector<DseRequest> reqs;
+        reqs.reserve(grp.indices.size());
+        for (size_t idx : grp.indices)
+            reqs.push_back(points[idx]);
+        std::vector<DsePoint> res = localEx->evaluateAll(reqs, 1);
+        for (size_t k = 0; k < grp.indices.size(); ++k)
+            out[grp.indices[k]] = std::move(res[k]);
+        grp.completed = true;
+        ++completed;
+        ++stats.fallbackGroups;
+        stats.fallbackPoints += grp.indices.size();
+    };
+
+    // An orphaned group (its last in-flight worker died) re-enters
+    // the queue at the FRONT, gated by capped exponential backoff, so
+    // a re-dispatched group is never starved by the backlog. Bounded
+    // per group; exhaustion degrades to local evaluation (or fatal
+    // when the caller opted out).
+    const auto requeueOrFallback = [&](size_t g, Clock::time_point now) {
+        Group &grp = groups[g];
+        if (grp.completed || grp.inFlight > 0)
+            return; // a hedge twin still owns it
+        if (grp.retries >= opts.maxGroupRetries) {
+            if (!opts.fallbackLocal)
+                fatal("distributed sweep: group ", g, " failed after ",
+                      opts.maxGroupRetries, " re-dispatches");
+            evaluateLocally(g);
+            return;
+        }
+        ++grp.retries;
+        ++stats.redispatches;
+        const int shift = std::min(grp.retries - 1, 20);
+        const i64 backoff =
+            std::min<i64>(opts.retryBackoffCapMs,
+                          static_cast<i64>(opts.retryBackoffMs)
+                              << shift);
+        grp.eligibleAt = now + milliseconds(backoff);
+        pending.push_front(g);
+    };
+
+    // Declared dead: SIGKILL (idempotent for an already-exited child)
+    // and reap IMMEDIATELY -- a long sweep must not accumulate
+    // zombies -- recording how the worker went (signal vs. exit).
+    const auto declareDead = [&](WorkerSlot &ws, bool timedOut) {
+        ws.proc.kill(SIGKILL);
+        const int status = ws.proc.wait();
+        if (Subprocess::wasSignaled(status))
+            ++stats.workersSignaled;
+        else
+            ++stats.workersExited;
+        ++stats.workerDeaths;
+        if (timedOut)
+            ++stats.timeoutKills;
+        if (ws.state == WorkerSlot::State::Handshake)
+            ++stats.handshakeFailures;
+        const long g = ws.group;
+        ws.state = WorkerSlot::State::Dead;
+        ws.group = -1;
+        if (g >= 0) {
+            --groups[static_cast<size_t>(g)].inFlight;
+            requeueOrFallback(static_cast<size_t>(g), Clock::now());
+        }
+    };
+
+    const auto dispatchTo = [&](WorkerSlot &ws, size_t g,
+                                Clock::time_point now,
+                                bool hedge) -> bool {
         wire::GroupRequest msg;
         msg.curve = curve;
         msg.groupId = g;
@@ -128,94 +403,315 @@ distributeEvaluate(const std::string &curve,
         for (size_t idx : groups[g].indices)
             msg.requests.push_back(points[idx]);
         const std::vector<u8> frame = encodeGroupRequest(msg);
-        return ws.proc.writeAll(frame.data(), frame.size());
-    };
-
-    // Declared dead: reap, and re-queue the in-flight group (front of
-    // the queue, so a re-dispatched group is never starved by the
-    // remaining backlog). Bounded per group; a group that keeps
-    // killing workers is an error, not an infinite loop.
-    auto declareDead = [&](WorkerState &ws) {
-        ws.proc.kill(SIGKILL);
-        ws.proc.wait();
-        ws.alive = false;
-        ++stats.workerDeaths;
-        if (ws.inFlight >= 0) {
-            const size_t g = static_cast<size_t>(ws.inFlight);
-            ws.inFlight = -1;
-            if (++groups[g].retries > opts.maxGroupRetries)
-                fatal("distributed sweep: group ", g, " failed after ",
-                      opts.maxGroupRetries, " re-dispatches");
-            pending.push_front(g);
-            ++stats.redispatches;
+        if (!ws.proc.writeAll(frame.data(), frame.size()))
+            return false; // caller declares the worker dead
+        ws.state = WorkerSlot::State::Busy;
+        ws.group = static_cast<long>(g);
+        ws.dispatchedAt = now;
+        ws.lastProgress = now; // liveness clock restarts per dispatch
+        ++groups[g].inFlight;
+        ++stats.dispatches;
+        if (hedge) {
+            groups[g].hedged = true;
+            ++stats.hedges;
         }
+        return true;
     };
-
-    // Initial dispatch: one group per worker. A write failure here
-    // (worker died instantly) is handled like any later death.
-    for (WorkerState &ws : pool) {
-        if (!dispatchTo(ws))
-            declareDead(ws);
-    }
 
     std::vector<u8> chunk(1 << 16);
+    u64 pingSeq = 0;
+
     while (completed < groups.size()) {
+        Clock::time_point now = Clock::now();
+
+        // (1) Deadlines: kill workers with no frame progress inside
+        // their liveness window (handshakes get the floored window),
+        // and -- when a hard per-group deadline is set -- workers
+        // whose group has been in flight too long even with
+        // heartbeats. Silent-but-live workers get a Ping first.
+        for (WorkerSlot &ws : pool) {
+            if (ws.state == WorkerSlot::State::Handshake) {
+                if (msUntil(ws.lastProgress + milliseconds(handshakeMs),
+                            now) <= 0)
+                    declareDead(ws, true);
+                continue;
+            }
+            if (ws.state == WorkerSlot::State::Dead)
+                continue;
+            bool expired =
+                msUntil(ws.lastProgress + milliseconds(livenessMs),
+                        now) <= 0;
+            if (ws.state == WorkerSlot::State::Busy &&
+                opts.groupDeadlineMs > 0 &&
+                msUntil(ws.dispatchedAt +
+                            milliseconds(opts.groupDeadlineMs),
+                        now) <= 0)
+                expired = true;
+            if (expired) {
+                declareDead(ws, true);
+                continue;
+            }
+            const Clock::time_point lastTouch =
+                std::max(ws.lastProgress, ws.lastPingAt);
+            if (msUntil(lastTouch + milliseconds(opts.pingIntervalMs),
+                        now) <= 0) {
+                wire::Ping ping;
+                ping.seq = ++pingSeq;
+                const std::vector<u8> probe = wire::encodePing(ping);
+                if (!ws.proc.writeAll(probe.data(), probe.size())) {
+                    declareDead(ws, false);
+                    continue;
+                }
+                ws.lastPingAt = now;
+                ++stats.pingsSent;
+            }
+        }
+
+        // (2) Elastic respawn: keep the pool at full width while the
+        // budget lasts and work remains.
+        for (WorkerSlot &ws : pool) {
+            if (completed >= groups.size() || respawnBudget <= 0)
+                break;
+            if (ws.state != WorkerSlot::State::Dead)
+                continue;
+            --respawnBudget;
+            spawnSlot(ws);
+            ++stats.respawns;
+        }
+
+        // (3) Pool empty for good: finish the sweep in-process (or
+        // fail, preserving the pre-fallback contract).
+        const bool anyAlive = std::any_of(
+            pool.begin(), pool.end(), [](const WorkerSlot &ws) {
+                return ws.state != WorkerSlot::State::Dead;
+            });
+        if (!anyAlive) {
+            if (!opts.fallbackLocal)
+                fatal("distributed sweep: all ", n, " workers died (",
+                      groups.size() - completed, " groups unfinished)");
+            for (size_t g = 0; g < groups.size(); ++g) {
+                if (!groups[g].completed)
+                    evaluateLocally(g);
+            }
+            pending.clear();
+            break;
+        }
+
+        now = Clock::now();
+
+        // (4) Dispatch: hand each idle worker the next
+        // backoff-eligible pending group; once the queue is dry,
+        // hedge the oldest straggler instead.
+        for (WorkerSlot &ws : pool) {
+            if (ws.state != WorkerSlot::State::Idle)
+                continue;
+            size_t g = groups.size();
+            for (auto it = pending.begin(); it != pending.end(); ++it) {
+                if (msUntil(groups[*it].eligibleAt, now) <= 0) {
+                    g = *it;
+                    pending.erase(it);
+                    break;
+                }
+            }
+            if (g < groups.size()) {
+                if (!dispatchTo(ws, g, now, false)) {
+                    pending.push_front(g); // never sent: no retry charge
+                    declareDead(ws, false);
+                }
+                continue;
+            }
+            if (pending.empty() && opts.hedgeAfterMs > 0) {
+                WorkerSlot *straggler = nullptr;
+                for (WorkerSlot &other : pool) {
+                    if (other.state != WorkerSlot::State::Busy)
+                        continue;
+                    Group &grp = groups[static_cast<size_t>(other.group)];
+                    if (grp.completed || grp.hedged ||
+                        grp.inFlight != 1)
+                        continue;
+                    if (msUntil(other.dispatchedAt +
+                                    milliseconds(opts.hedgeAfterMs),
+                                now) > 0)
+                        continue;
+                    if (!straggler ||
+                        other.dispatchedAt < straggler->dispatchedAt)
+                        straggler = &other;
+                }
+                if (straggler) {
+                    const size_t hg =
+                        static_cast<size_t>(straggler->group);
+                    if (!dispatchTo(ws, hg, now, true))
+                        declareDead(ws, false);
+                }
+            }
+        }
+
+        if (completed >= groups.size())
+            break;
+
+        // (5) Finite poll timeout from the next deadline: liveness
+        // windows, ping due times, retry-backoff gates and hedge
+        // eligibility all wake the loop exactly when they mature.
+        i64 timeoutMs = 1000;
+        for (const WorkerSlot &ws : pool) {
+            switch (ws.state) {
+              case WorkerSlot::State::Dead:
+                break;
+              case WorkerSlot::State::Handshake:
+                timeoutMs = std::min(
+                    timeoutMs,
+                    msUntil(ws.lastProgress + milliseconds(handshakeMs),
+                            now));
+                break;
+              case WorkerSlot::State::Idle:
+              case WorkerSlot::State::Busy: {
+                timeoutMs = std::min(
+                    timeoutMs,
+                    msUntil(ws.lastProgress + milliseconds(livenessMs),
+                            now));
+                if (ws.state == WorkerSlot::State::Busy &&
+                    opts.groupDeadlineMs > 0)
+                    timeoutMs = std::min(
+                        timeoutMs,
+                        msUntil(ws.dispatchedAt +
+                                    milliseconds(opts.groupDeadlineMs),
+                                now));
+                if (ws.state == WorkerSlot::State::Busy &&
+                    opts.hedgeAfterMs > 0)
+                    timeoutMs = std::min(
+                        timeoutMs,
+                        msUntil(ws.dispatchedAt +
+                                    milliseconds(opts.hedgeAfterMs),
+                                now));
+                const Clock::time_point lastTouch =
+                    std::max(ws.lastProgress, ws.lastPingAt);
+                timeoutMs = std::min(
+                    timeoutMs,
+                    msUntil(lastTouch +
+                                milliseconds(opts.pingIntervalMs),
+                            now));
+                break;
+              }
+            }
+        }
+        for (const size_t g : pending)
+            timeoutMs =
+                std::min(timeoutMs, msUntil(groups[g].eligibleAt, now));
+        timeoutMs = std::clamp<i64>(timeoutMs, 0, 60000);
+
         std::vector<pollfd> fds;
         std::vector<size_t> fdWorker;
         for (size_t w = 0; w < pool.size(); ++w) {
-            if (!pool[w].alive)
+            if (pool[w].state == WorkerSlot::State::Dead)
                 continue;
             fds.push_back({pool[w].proc.stdoutFd(), POLLIN, 0});
             fdWorker.push_back(w);
         }
         if (fds.empty())
-            fatal("distributed sweep: all ", n, " workers died (",
-                  groups.size() - completed, " groups unfinished)");
+            continue; // respawn/fallback handles it next iteration
 
         int rc;
         do {
-            rc = ::poll(fds.data(), fds.size(), -1);
+            rc = ::poll(fds.data(), fds.size(),
+                        static_cast<int>(timeoutMs));
         } while (rc < 0 && errno == EINTR);
         if (rc < 0)
             fatal("distributed sweep: poll: ", std::strerror(errno));
+        if (rc == 0)
+            continue; // a deadline matured; top of loop enforces it
 
+        // (6) Drain readable workers. The try block only PARSES: a
+        // decode failure poisons the stream, nothing more --
+        // declareDead (whose fallback evaluation or fatal must run
+        // outside any frame-parsing context) runs strictly after it.
+        // A WorkerError frame is a DETERMINISTIC failure a retry
+        // cannot fix -> propagate.
         for (size_t f = 0; f < fds.size(); ++f) {
             if (fds[f].revents == 0)
                 continue;
-            WorkerState &ws = pool[fdWorker[f]];
-            const long r =
-                ws.proc.readSome(chunk.data(), chunk.size());
+            WorkerSlot &ws = pool[fdWorker[f]];
+            if (ws.state == WorkerSlot::State::Dead)
+                continue; // killed earlier in this drain pass
+            const long r = ws.proc.readSome(chunk.data(), chunk.size());
             if (r <= 0) {
-                declareDead(ws);
+                declareDead(ws, false);
                 continue;
             }
+            now = Clock::now();
             ws.frames.append(chunk.data(), static_cast<size_t>(r));
+            ws.lastProgress = now;
 
-            // Drain complete frames. The try block only PARSES: a
-            // decode failure poisons the stream, nothing more --
-            // declareDead (whose retry-exhaustion FatalError must
-            // propagate to the caller) runs strictly outside it. A
-            // WorkerError frame is a DETERMINISTIC failure a retry
-            // cannot fix -> propagate too.
             std::optional<std::string> workerError;
-            std::vector<wire::GroupResult> results;
+            std::optional<std::string> helloReject;
             bool poisoned = false;
             try {
                 wire::Frame frame;
-                while (ws.frames.next(frame)) {
-                    if (frame.type == wire::FrameType::WorkerError) {
+                while (!poisoned && !helloReject &&
+                       ws.frames.next(frame)) {
+                    switch (frame.type) {
+                      case wire::FrameType::Hello: {
+                        if (ws.state !=
+                            WorkerSlot::State::Handshake) {
+                            poisoned = true; // duplicate Hello
+                            break;
+                        }
+                        const wire::Hello hello =
+                            wire::decodeHello(frame.payload);
+                        const std::string reason =
+                            helloRejectReason(hello);
+                        if (!reason.empty())
+                            helloReject = reason;
+                        else
+                            ws.state = WorkerSlot::State::Idle;
+                        break;
+                      }
+                      case wire::FrameType::Pong:
+                        wire::decodePong(frame.payload);
+                        ++stats.pongsReceived;
+                        break;
+                      case wire::FrameType::WorkerError:
                         workerError =
                             wire::decodeWorkerError(frame.payload)
                                 .message;
                         break;
+                      case wire::FrameType::GroupResult: {
+                        wire::GroupResult res =
+                            wire::decodeGroupResult(frame.payload);
+                        if (ws.state != WorkerSlot::State::Busy ||
+                            res.groupId !=
+                                static_cast<u64>(ws.group)) {
+                            poisoned = true; // result out of protocol
+                            break;
+                        }
+                        Group &grp = groups[res.groupId];
+                        if (grp.completed) {
+                            // Hedge loser: the twin already won the
+                            // race; identical bits, nothing to merge.
+                            ++stats.staleResults;
+                        } else if (res.points.size() !=
+                                   grp.indices.size()) {
+                            poisoned = true; // corrupt point count
+                            break;
+                        } else {
+                            for (size_t k = 0; k < grp.indices.size();
+                                 ++k)
+                                out[grp.indices[k]] =
+                                    std::move(res.points[k]);
+                            grp.completed = true;
+                            ++completed;
+                        }
+                        --grp.inFlight;
+                        ws.state = WorkerSlot::State::Idle;
+                        ws.group = -1;
+                        break;
+                      }
+                      case wire::FrameType::GroupRequest:
+                      case wire::FrameType::Ping:
+                        poisoned = true; // echoed master frame
+                        break;
                     }
-                    if (frame.type != wire::FrameType::GroupRequest) {
-                        results.push_back(
-                            wire::decodeGroupResult(frame.payload));
-                        continue;
-                    }
-                    poisoned = true; // request echoed back: protocol bug
-                    break;
+                    if (workerError)
+                        break;
                 }
             } catch (const std::exception &) {
                 // Any parse failure -- FatalError from the decoders,
@@ -225,57 +721,152 @@ distributeEvaluate(const std::string &curve,
             }
             if (workerError)
                 fatal("dse worker failed: ", *workerError);
-
-            for (wire::GroupResult &res : results) {
-                // A result for the wrong group or with the wrong
-                // point count is protocol corruption: drop the
-                // worker, let its in-flight group re-dispatch.
-                if (ws.inFlight < 0 ||
-                    res.groupId != static_cast<u64>(ws.inFlight) ||
-                    res.points.size() !=
-                        groups[res.groupId].indices.size()) {
-                    poisoned = true;
-                    break;
-                }
-                const Group &grp = groups[res.groupId];
-                for (size_t k = 0; k < grp.indices.size(); ++k)
-                    out[grp.indices[k]] = std::move(res.points[k]);
-                ++completed;
-                ws.inFlight = -1;
-                // A worker already marked poisoned (corrupt bytes
-                // after this result) gets no new group: dispatching
-                // one would charge that group a retry no worker ever
-                // attempted.
-                if (!poisoned && !dispatchTo(ws)) {
-                    poisoned = true; // write failure == dead worker
-                    break;
-                }
+            if (helloReject) {
+                std::fprintf(stderr,
+                             "distributed sweep: rejecting worker: "
+                             "%s\n",
+                             helloReject->c_str());
+                declareDead(ws, false);
+                continue;
             }
             if (poisoned)
-                declareDead(ws);
-        }
-
-        // A death may have re-queued a group while other live workers
-        // sit idle (their queue ran dry earlier): hand it over now.
-        for (WorkerState &ws : pool) {
-            if (pending.empty())
-                break;
-            if (ws.alive && ws.inFlight < 0) {
-                if (!dispatchTo(ws))
-                    declareDead(ws);
-            }
+                declareDead(ws, false);
         }
     }
 
-    for (WorkerState &ws : pool) {
-        if (!ws.alive)
-            continue;
-        ws.proc.closeStdin(); // EOF -> worker exits its read loop
-        ws.proc.wait();
-        ws.alive = false;
+    for (WorkerSlot &ws : pool) {
+        switch (ws.state) {
+          case WorkerSlot::State::Dead:
+            break;
+          case WorkerSlot::State::Busy:
+          case WorkerSlot::State::Handshake:
+            // A hedge loser still chewing on an already-completed
+            // group (its result would back up a pipe the master will
+            // never drain), or a worker that never finished its
+            // handshake (possibly hung before Hello): a graceful EOF
+            // wait could deadlock on either. Kill and reap.
+            ws.proc.kill(SIGKILL);
+            ws.proc.wait();
+            ws.state = WorkerSlot::State::Dead;
+            break;
+          case WorkerSlot::State::Idle:
+            ws.proc.closeStdin(); // EOF -> worker exits its read loop
+            ws.proc.wait();
+            ws.state = WorkerSlot::State::Dead;
+            break;
+        }
     }
     return out;
 }
+
+namespace {
+
+/** Serializes all worker->master writes (read loop + heartbeats). */
+class WorkerOutput
+{
+  public:
+    explicit WorkerOutput(int fd) : fd_(fd) {}
+
+    bool
+    send(const std::vector<u8> &frame)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return writeAllFd(fd_, frame.data(), frame.size());
+    }
+
+  private:
+    int fd_;
+    std::mutex mu_;
+};
+
+/**
+ * Scoped heartbeat: unsolicited Pong frames every kHeartbeatMs for as
+ * long as the object lives. Wrapped around group evaluation (and
+ * injected stalls) so the master can tell busy from hung.
+ */
+class Heartbeat
+{
+  public:
+    explicit Heartbeat(WorkerOutput &out) : out_(out)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            if (cv_.wait_for(lock, milliseconds(kHeartbeatMs),
+                             [this] { return stop_; }))
+                return;
+            lock.unlock();
+            wire::Pong beat; // seq 0 = unsolicited
+            // A failed write means the master is gone; the read loop
+            // will see EOF/EPIPE and exit -- nothing to do here.
+            out_.send(wire::encodePong(beat));
+            lock.lock();
+        }
+    }
+
+    WorkerOutput &out_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+[[noreturn]] void
+hangForever()
+{
+    // A hung worker: no heartbeats, no EOF, no progress. Only the
+    // master's liveness deadline (SIGKILL) ends this.
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+/** Execute a Kill/Hang/Garbage/Stall action at its trigger point. */
+void
+runWorkerFault(const FaultAction &fa, WorkerOutput &out)
+{
+    switch (fa.kind) {
+      case FaultAction::Kind::Kill:
+        ::raise(SIGKILL);
+        break;
+      case FaultAction::Kind::Hang:
+        hangForever();
+      case FaultAction::Kind::Garbage: {
+        // Junk that can never parse as a frame header: poisons the
+        // master-side stream, which must drop us, not crash.
+        const std::vector<u8> junk(32, 0xA5);
+        out.send(junk);
+        break;
+      }
+      case FaultAction::Kind::Stall: {
+        // A straggler, not a corpse: heartbeats keep flowing, so only
+        // a hard group deadline or hedging reacts to this.
+        Heartbeat beat(out);
+        std::this_thread::sleep_for(milliseconds(fa.stallMs));
+        break;
+      }
+      case FaultAction::Kind::BadHelloVersion:
+      case FaultAction::Kind::BadHelloHash:
+        break; // hello-site only; meaningless elsewhere
+    }
+}
+
+} // namespace
 
 int
 runDseWorker(int inFd, int outFd)
@@ -283,10 +874,32 @@ runDseWorker(int inFd, int outFd)
     // A master that died mid-sweep must surface as a failed write
     // (-> clean worker exit), not as a fatal SIGPIPE.
     ignoreSigpipe();
-    const bool kill9 = std::getenv(kKillEnv) != nullptr;
+    const char *faultSpec = std::getenv(kFaultPlanEnv);
+    FaultPlan plan = FaultPlan::parse(faultSpec ? faultSpec : "");
+    WorkerOutput out(outFd);
+
+    // Handshake: always the first frame on the stream.
+    {
+        wire::Hello hello;
+        hello.version = wire::kProtocolVersion;
+        hello.catalogHash = catalogHash();
+        if (FaultAction *fa = plan.fire(FaultAction::Site::Hello, 0)) {
+            if (fa->kind == FaultAction::Kind::BadHelloVersion)
+                hello.version += 1000;
+            else if (fa->kind == FaultAction::Kind::BadHelloHash)
+                hello.catalogHash ^= 0x1;
+            else
+                runWorkerFault(*fa, out);
+        }
+        if (!out.send(wire::encodeHello(hello)))
+            return 1;
+    }
+
     wire::FrameBuffer frames;
     std::vector<u8> chunk(1 << 16);
     u64 currentGroup = 0;
+    int framesSeen = 0;
+    int groupsSeen = 0;
     try {
         for (;;) {
             long r;
@@ -301,24 +914,48 @@ runDseWorker(int inFd, int outFd)
 
             wire::Frame frame;
             while (frames.next(frame)) {
+                if (FaultAction *fa =
+                        plan.fire(FaultAction::Site::Frame, framesSeen))
+                    runWorkerFault(*fa, out);
+                ++framesSeen;
+
+                if (frame.type == wire::FrameType::Ping) {
+                    wire::Pong pong;
+                    pong.seq = wire::decodePing(frame.payload).seq;
+                    if (!out.send(wire::encodePong(pong)))
+                        return 1; // master is gone
+                    continue;
+                }
                 if (frame.type != wire::FrameType::GroupRequest)
                     fatal("dse worker: unexpected frame type ",
                           static_cast<int>(frame.type));
                 const wire::GroupRequest req =
                     wire::decodeGroupRequest(frame.payload);
                 currentGroup = req.groupId;
-                if (kill9) {
-                    // Fault injection: die like `kill -9` mid-group,
-                    // after the master committed the dispatch.
-                    ::raise(SIGKILL);
+                if (FaultAction *fa = plan.fire(
+                        FaultAction::Site::Group, groupsSeen)) {
+                    ++groupsSeen;
+                    runWorkerFault(*fa, out);
+                    if (fa->kind == FaultAction::Kind::Garbage)
+                        continue; // junk instead of the result
+                } else {
+                    ++groupsSeen;
                 }
-                Explorer ex(req.curve);
+
                 wire::GroupResult res;
                 res.groupId = req.groupId;
-                // Serial per group: process-level parallelism comes
-                // from N workers; identical results either way.
-                res.points = ex.evaluateAll(req.requests, 1);
-                if (!writeFd(outFd, wire::encodeGroupResult(res)))
+                {
+                    // Heartbeats cover the expensive part (curve
+                    // setup + trace + batched evaluation), so a
+                    // legitimately slow group never reads as hung.
+                    Heartbeat beat(out);
+                    Explorer ex(req.curve);
+                    // Serial per group: process-level parallelism
+                    // comes from N workers; identical results either
+                    // way.
+                    res.points = ex.evaluateAll(req.requests, 1);
+                }
+                if (!out.send(wire::encodeGroupResult(res)))
                     return 1; // master is gone
             }
         }
@@ -329,7 +966,7 @@ runDseWorker(int inFd, int outFd)
         wire::WorkerError err;
         err.groupId = currentGroup;
         err.message = e.what();
-        writeFd(outFd, wire::encodeWorkerError(err));
+        out.send(wire::encodeWorkerError(err));
         return 1;
     } catch (const std::exception &e) {
         // Possibly-transient failure (bad_alloc under memory

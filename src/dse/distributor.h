@@ -11,13 +11,28 @@
  * every point, so the per-trace prep amortizes remotely exactly as it
  * does on a local worker thread.
  *
+ * Fault tolerance (PR 7): every worker opens with a Hello handshake
+ * (protocol version + curve-catalog hash; mismatched builds are
+ * rejected before any dispatch), sends heartbeat Pongs while
+ * evaluating, and answers master Pings. The master's poll() loop runs
+ * on finite timeouts computed from the next liveness/group deadline;
+ * a worker with no frame progress by its deadline is SIGKILLed and
+ * reaped, its group re-queued under a per-group retry budget with
+ * capped exponential backoff. Dead workers are respawned up to a
+ * respawn budget; stragglers can be hedged (the same group
+ * re-dispatched to an idle worker, first result wins -- safe because
+ * results are bit-identical); and when retries or the pool run out,
+ * fallbackLocal evaluates the remaining groups in-process instead of
+ * failing the sweep.
+ *
  * Determinism contract: results are merged index-ordered into the
  * caller's request order, every point is computed by the same
  * deterministic code path as Explorer::evaluateAll, and all numeric
  * fields cross the wire as raw bit patterns -- the distributed sweep
- * is BIT-identical to the in-process one for any worker count,
- * including under worker crashes (a crashed worker's in-flight group
- * is re-dispatched to a live worker, bounded retries, then error).
+ * is BIT-identical to the in-process one for any worker count and any
+ * survivable fault plan (crashes, hangs, stream corruption, handshake
+ * rejects), because re-dispatch, hedging and local fallback all rerun
+ * the identical computation.
  */
 #ifndef FINESSE_DSE_DISTRIBUTOR_H_
 #define FINESSE_DSE_DISTRIBUTOR_H_
@@ -27,17 +42,34 @@
 #include <vector>
 
 #include "dse/explorer.h"
+#include "dse/wire.h"
 
 namespace finesse {
 
 /** Observability counters of one distributed sweep (tests assert on
- *  the crash/re-dispatch path through these). */
+ *  the crash/timeout/re-dispatch paths through these). */
 struct DistributorStats
 {
-    int workersSpawned = 0;
-    int workerDeaths = 0;  ///< EOF/decode failure before group result
-    int redispatches = 0;  ///< in-flight groups re-queued after a death
-    size_t groups = 0;     ///< trace-key groups dispatched
+    int workersSpawned = 0; ///< initial spawns + respawns
+    int workerDeaths = 0;   ///< EOF / decode failure / deadline kill
+    int redispatches = 0;   ///< groups re-queued after a death
+    size_t groups = 0;      ///< trace-key groups in the sweep
+
+    int dispatches = 0;         ///< group dispatches (incl. re/hedge)
+    int timeoutKills = 0;       ///< deaths caused by a missed deadline
+    int handshakeFailures = 0;  ///< workers rejected at/before Hello
+    int respawns = 0;           ///< replacement workers spawned
+    int hedges = 0;             ///< speculative duplicate dispatches
+    int staleResults = 0;       ///< hedge-loser results discarded
+    int workersExited = 0;      ///< reaped deaths: normal exit
+    int workersSignaled = 0;    ///< reaped deaths: killed by signal
+    int fallbackGroups = 0;     ///< groups evaluated in-process
+    size_t fallbackPoints = 0;  ///< points evaluated in-process
+    int pingsSent = 0;          ///< liveness probes sent
+    int pongsReceived = 0;      ///< probe replies + heartbeats
+
+    /** One-line human-readable rendering (finesse_cli dse). */
+    std::string describe() const;
 };
 
 /** Knobs of the distributed sweep (defaults are production behavior). */
@@ -56,20 +88,137 @@ struct DistributorOptions
     /** Collects counters when non-null. */
     DistributorStats *stats = nullptr;
 
-    // Fault-injection hooks (tests only): the selected workers are
-    // spawned with FINESSE_DSE_KILL9=1 in their environment and
-    // SIGKILL themselves on receipt of their first group -- a genuine
-    // `kill -9` mid-group, after the master committed the dispatch.
+    /**
+     * Kill a worker with no frame progress (results, heartbeats, ping
+     * replies all count) for this long. 0 = read FINESSE_DSE_LIVENESS_MS
+     * from the environment, defaulting to 10000. Handshakes get
+     * max(this, 5000) so sanitizer-slowed exec never trips it.
+     */
+    int livenessTimeoutMs = 0;
+
+    /**
+     * Hard per-dispatch deadline: kill the worker when one group has
+     * been in flight this long even if heartbeats still arrive
+     * (catches live-but-stuck workers). 0 = disabled.
+     */
+    int groupDeadlineMs = 0;
+
+    /** Ping a silent non-dead worker after this long. */
+    int pingIntervalMs = 1000;
+
+    /**
+     * Straggler hedging: once the pending queue is empty, a group in
+     * flight this long is speculatively re-dispatched to an idle
+     * worker; the first result wins, the loser is discarded as stale.
+     * 0 = disabled.
+     */
+    int hedgeAfterMs = 5000;
+
+    /** Exponential re-dispatch backoff: base delay, doubling per
+     *  retry, capped. */
+    int retryBackoffMs = 50;
+    int retryBackoffCapMs = 2000;
+
+    /** Replacement workers allowed after deaths; -1 = 2x pool width. */
+    int maxRespawns = -1;
+
+    /**
+     * Graceful degradation: when a group exhausts its retries or the
+     * pool empties with no respawn budget left, evaluate the
+     * remaining groups in-process via Explorer::evaluateAll (same
+     * bits) instead of failing the sweep. When false those paths
+     * throw FatalError as before.
+     */
+    bool fallbackLocal = true;
+
+    /** Extra "KEY=VALUE" environment entries for every worker. */
+    std::vector<std::string> workerEnv;
+
+    /**
+     * Chaos injection (tests): per-slot FINESSE_DSE_FAULT plans,
+     * assigned round-robin (slot w gets plans[w % size]). When
+     * non-empty EVERY slot gets an explicit assignment -- an empty
+     * string pins the slot fault-free, shielding it from any ambient
+     * FINESSE_DSE_FAULT in the test environment. A respawned slot
+     * reuses its slot's plan.
+     */
+    std::vector<std::string> workerFaultPlans;
+
+    // Legacy fault-injection hooks (sugar for workerFaultPlans with
+    // "kill@group:0"): the selected workers SIGKILL themselves on
+    // receipt of their first group -- a genuine `kill -9` mid-group,
+    // after the master committed the dispatch.
     int killWorkerIndex = -1; ///< -1 = none
     bool killAllWorkers = false;
 };
 
 /**
+ * One parsed fault-plan action (see FaultPlan). `fired` makes every
+ * action one-shot so a respawned worker replays the plan afresh
+ * (each process parses its own copy from the environment).
+ */
+struct FaultAction
+{
+    enum class Kind {
+        Kill,            ///< raise(SIGKILL): crash mid-protocol
+        Hang,            ///< sleep forever, no heartbeats (hung worker)
+        Garbage,         ///< write junk bytes (stream corruption)
+        Stall,           ///< sleep stallMs WITH heartbeats (straggler)
+        BadHelloVersion, ///< announce a wrong protocol version
+        BadHelloHash,    ///< announce a wrong catalog hash
+    };
+    enum class Site {
+        Group, ///< on receipt of the index-th GroupRequest
+        Frame, ///< on receipt of the index-th frame of any type
+        Hello, ///< before the handshake is sent
+    };
+    Kind kind = Kind::Kill;
+    Site site = Site::Group;
+    int index = 0;   ///< 0-based trigger ordinal at the site
+    int stallMs = 0; ///< Stall only
+    bool fired = false;
+};
+
+/**
+ * Scriptable worker fault plan, parsed from FINESSE_DSE_FAULT by the
+ * worker main. Grammar: semicolon-separated `action@site` terms,
+ *
+ *     FINESSE_DSE_FAULT="kill@group:2;hang@group:1;garbage@frame:3;
+ *                        stall_ms=500@group:0;bad_hash@hello"
+ *
+ * where action is kill | hang | garbage | stall_ms=<N> | bad_version
+ * | bad_hash and site is group:<N> | frame:<N> | hello. Unparseable
+ * specs are fatal (a chaos test with a typo must fail loudly, not
+ * silently run fault-free).
+ */
+struct FaultPlan
+{
+    std::vector<FaultAction> actions;
+
+    static FaultPlan parse(const std::string &spec);
+
+    /** First unfired action at @p site/@p index (marks it fired). */
+    FaultAction *fire(FaultAction::Site site, int index);
+
+    bool empty() const { return actions.empty(); }
+};
+
+/** Environment variable carrying the worker fault plan. */
+constexpr const char *kFaultPlanEnv = "FINESSE_DSE_FAULT";
+
+/**
+ * Why a worker's Hello must be rejected; empty string = accepted.
+ * (The master's handshake check, exposed for the wire tests.)
+ */
+std::string helloRejectReason(const wire::Hello &hello);
+
+/**
  * Evaluate @p points for @p curve on @p workers subprocesses; the
  * result vector is index-aligned with @p points and bit-identical to
- * Explorer::evaluateAll on the same requests. Throws FatalError when
- * a group exhausts its retries, when every worker is dead, or when a
- * worker reports a deterministic error (which a retry cannot fix).
+ * Explorer::evaluateAll on the same requests. With fallbackLocal
+ * (default) any survivable fault degrades to in-process evaluation;
+ * FatalError is reserved for fallbackLocal=false exhaustion and for a
+ * worker-reported deterministic error (which a retry cannot fix).
  */
 std::vector<DsePoint>
 distributeEvaluate(const std::string &curve,
@@ -77,10 +226,11 @@ distributeEvaluate(const std::string &curve,
                    const DistributorOptions &opts = {});
 
 /**
- * Worker loop: read GroupRequest frames from @p inFd until EOF,
- * evaluate each group via Explorer::evaluateAll (serial: process-level
- * parallelism comes from running N workers), stream GroupResult
- * frames to @p outFd. Returns the process exit code (0 on clean EOF).
+ * Worker loop: send Hello, then read frames from @p inFd until EOF --
+ * GroupRequests are evaluated via Explorer::evaluateAll (serial:
+ * process-level parallelism comes from running N workers) under a
+ * heartbeat thread, Pings are answered with Pongs -- streaming
+ * results to @p outFd. Returns the process exit code (0 on clean EOF).
  */
 int runDseWorker(int inFd = 0, int outFd = 1);
 

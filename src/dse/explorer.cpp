@@ -403,6 +403,15 @@ DsePoint
 Explorer::exploreVariants(const CompileOptions &base, Objective objective,
                           bool mulOnly) const
 {
+    return exploreVariants(base, objective, mulOnly,
+                           DistributorOptions{});
+}
+
+DsePoint
+Explorer::exploreVariants(const CompileOptions &base, Objective objective,
+                          bool mulOnly,
+                          const DistributorOptions &dopts) const
+{
     std::vector<DseRequest> reqs;
     for (const VariantConfig &cfg : variantSpace(mulOnly)) {
         DseRequest req;
@@ -416,7 +425,7 @@ Explorer::exploreVariants(const CompileOptions &base, Objective objective,
     // below is oblivious to where the evaluation ran.
     const std::vector<DsePoint> points =
         base.dseWorkers > 0
-            ? evaluateAllDistributed(reqs, base.dseWorkers)
+            ? evaluateAllDistributed(reqs, base.dseWorkers, dopts)
             : evaluateAll(reqs, base.jobs);
 
     // Stable index-ordered reduction: identical to the serial loop

@@ -200,6 +200,17 @@ class Explorer
                              Objective objective,
                              bool mulOnly = true) const;
 
+    /**
+     * As above with explicit distributor knobs for the
+     * `base.dseWorkers > 0` path (retry/liveness/hedging/fallback
+     * policy plus a DistributorStats sink -- finesse_cli uses this to
+     * print fault-tolerance counters after a distributed sweep).
+     * Ignored by the in-process path.
+     */
+    DsePoint exploreVariants(const CompileOptions &base,
+                             Objective objective, bool mulOnly,
+                             const DistributorOptions &dopts) const;
+
     /** Tower extension degrees of this curve (e.g. {2, 6, 12}). */
     std::vector<int> towerDegrees() const;
 

@@ -270,7 +270,7 @@ FrameBuffer::next(Frame &out)
         fatal("wire: bad frame magic 0x", std::hex, magic);
     const u8 type = header.u8v();
     if (type < static_cast<u8>(FrameType::GroupRequest) ||
-        type > static_cast<u8>(FrameType::WorkerError))
+        type > static_cast<u8>(FrameType::Pong))
         fatal("wire: unknown frame type ", static_cast<int>(type));
     const u32 length = header.u32v();
     if (length > kMaxPayload)
@@ -356,6 +356,62 @@ decodeWorkerError(const std::vector<u8> &payload)
     WorkerError msg;
     msg.groupId = r.u64v();
     msg.message = r.str();
+    r.expectEnd();
+    return msg;
+}
+
+std::vector<u8>
+encodeHello(const Hello &msg)
+{
+    WireWriter w;
+    w.u32v(msg.version);
+    w.u64v(msg.catalogHash);
+    return encodeFrame(FrameType::Hello, w.bytes());
+}
+
+Hello
+decodeHello(const std::vector<u8> &payload)
+{
+    WireReader r(payload);
+    Hello msg;
+    msg.version = r.u32v();
+    msg.catalogHash = r.u64v();
+    r.expectEnd();
+    return msg;
+}
+
+std::vector<u8>
+encodePing(const Ping &msg)
+{
+    WireWriter w;
+    w.u64v(msg.seq);
+    return encodeFrame(FrameType::Ping, w.bytes());
+}
+
+Ping
+decodePing(const std::vector<u8> &payload)
+{
+    WireReader r(payload);
+    Ping msg;
+    msg.seq = r.u64v();
+    r.expectEnd();
+    return msg;
+}
+
+std::vector<u8>
+encodePong(const Pong &msg)
+{
+    WireWriter w;
+    w.u64v(msg.seq);
+    return encodeFrame(FrameType::Pong, w.bytes());
+}
+
+Pong
+decodePong(const std::vector<u8> &payload)
+{
+    WireReader r(payload);
+    Pong msg;
+    msg.seq = r.u64v();
     r.expectEnd();
     return msg;
 }

@@ -41,7 +41,19 @@ enum class FrameType : u8 {
     GroupRequest = 1, ///< master -> worker: one trace-key group
     GroupResult = 2,  ///< worker -> master: the group's DsePoints
     WorkerError = 3,  ///< worker -> master: fatal worker-side error
+    Hello = 4,        ///< worker -> master: version/catalog handshake
+    Ping = 5,         ///< master -> worker: liveness probe
+    Pong = 6,         ///< worker -> master: probe reply / heartbeat
 };
+
+/**
+ * Protocol version carried by Hello. Bump on ANY wire-visible change
+ * (frame layout, field order, enum values): the master rejects
+ * workers announcing a different version, which is what makes
+ * mixed-build pools fail fast instead of corrupting results.
+ * Version 2 = version 1 (PR 5 group frames) + handshake/liveness.
+ */
+constexpr u32 kProtocolVersion = 2;
 
 /** One trace-key group shipped to a worker. */
 struct GroupRequest
@@ -63,6 +75,33 @@ struct WorkerError
 {
     u64 groupId = 0;
     std::string message;
+};
+
+/**
+ * First frame a worker sends after exec: the master verifies the
+ * protocol version and curve-catalog fingerprint before dispatching
+ * any work (heterogeneous builds are rejected at spawn, not after a
+ * silently-divergent sweep).
+ */
+struct Hello
+{
+    u32 version = 0;
+    u64 catalogHash = 0;
+};
+
+/** Liveness probe; the worker echoes the sequence number in a Pong. */
+struct Ping
+{
+    u64 seq = 0;
+};
+
+/**
+ * Probe reply or unsolicited heartbeat (seq 0): any Pong -- like any
+ * frame bytes at all -- counts as liveness progress for the sender.
+ */
+struct Pong
+{
+    u64 seq = 0;
 };
 
 /** Append-only payload encoder (see file comment for the format). */
@@ -275,11 +314,17 @@ DsePoint getPoint(WireReader &r);
 std::vector<u8> encodeGroupRequest(const GroupRequest &msg);
 std::vector<u8> encodeGroupResult(const GroupResult &msg);
 std::vector<u8> encodeWorkerError(const WorkerError &msg);
+std::vector<u8> encodeHello(const Hello &msg);
+std::vector<u8> encodePing(const Ping &msg);
+std::vector<u8> encodePong(const Pong &msg);
 
 /** Payload decoders; throw FatalError on any malformed input. */
 GroupRequest decodeGroupRequest(const std::vector<u8> &payload);
 GroupResult decodeGroupResult(const std::vector<u8> &payload);
 WorkerError decodeWorkerError(const std::vector<u8> &payload);
+Hello decodeHello(const std::vector<u8> &payload);
+Ping decodePing(const std::vector<u8> &payload);
+Pong decodePong(const std::vector<u8> &payload);
 
 } // namespace wire
 } // namespace finesse

@@ -114,9 +114,27 @@ Subprocess::spawn(const std::vector<std::string> &argv,
         argvp.push_back(const_cast<char *>(a.c_str()));
     argvp.push_back(nullptr);
 
+    // extraEnv entries override same-keyed parent entries: getenv in
+    // the child returns the FIRST match, so shadowed parent entries
+    // must be dropped, not merely preceded.
+    const auto envKeyLen = [](const char *e) {
+        const char *eq = std::strchr(e, '=');
+        return eq ? static_cast<size_t>(eq - e) : std::strlen(e);
+    };
     std::vector<char *> envp;
-    for (char **e = environ; e && *e; ++e)
-        envp.push_back(*e);
+    for (char **e = environ; e && *e; ++e) {
+        const size_t keyLen = envKeyLen(*e);
+        bool shadowed = false;
+        for (const std::string &x : extraEnv) {
+            if (envKeyLen(x.c_str()) == keyLen &&
+                std::strncmp(x.c_str(), *e, keyLen) == 0) {
+                shadowed = true;
+                break;
+            }
+        }
+        if (!shadowed)
+            envp.push_back(*e);
+    }
     for (const std::string &e : extraEnv)
         envp.push_back(const_cast<char *>(e.c_str()));
     envp.push_back(nullptr);
@@ -201,6 +219,24 @@ bool
 Subprocess::exitedCleanly(int waitStatus)
 {
     return WIFEXITED(waitStatus) && WEXITSTATUS(waitStatus) == 0;
+}
+
+bool
+Subprocess::wasSignaled(int waitStatus)
+{
+    return WIFSIGNALED(waitStatus);
+}
+
+int
+Subprocess::termSignal(int waitStatus)
+{
+    return WIFSIGNALED(waitStatus) ? WTERMSIG(waitStatus) : 0;
+}
+
+int
+Subprocess::exitCode(int waitStatus)
+{
+    return WIFEXITED(waitStatus) ? WEXITSTATUS(waitStatus) : -1;
 }
 
 std::string

@@ -33,11 +33,15 @@ class Subprocess
 
     /**
      * Fork + exec @p argv (argv[0] is the executable path; no PATH
-     * search). @p extraEnv entries ("KEY=VALUE") are appended to the
-     * parent environment. Throws FatalError when the pipes or fork
-     * fail; exec failure in the child surfaces as exit code 127.
-     * Spawning also ignores SIGPIPE process-wide (once) so a write
-     * to a crashed worker reports EPIPE instead of killing us.
+     * search). @p extraEnv entries ("KEY=VALUE") OVERRIDE any parent
+     * environment entry with the same KEY (getenv returns the first
+     * match, so a plain append could never override an inherited
+     * value -- the distributor relies on per-worker fault plans
+     * shadowing an ambient FINESSE_DSE_FAULT). Throws FatalError when
+     * the pipes or fork fail; exec failure in the child surfaces as
+     * exit code 127. Spawning also ignores SIGPIPE process-wide
+     * (once) so a write to a crashed worker reports EPIPE instead of
+     * killing us.
      */
     void spawn(const std::vector<std::string> &argv,
                const std::vector<std::string> &extraEnv = {});
@@ -73,6 +77,15 @@ class Subprocess
 
     /** True when @p waitStatus is a normal exit with code 0. */
     static bool exitedCleanly(int waitStatus);
+
+    /** True when @p waitStatus records death by signal. */
+    static bool wasSignaled(int waitStatus);
+
+    /** Terminating signal number (0 when not signaled). */
+    static int termSignal(int waitStatus);
+
+    /** Exit code of a normal exit (-1 when signaled/not exited). */
+    static int exitCode(int waitStatus);
 
   private:
     void closeFds();

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Chaos-injection suite for the fault-tolerant distributed sweep:
+ * scripted worker faults (FINESSE_DSE_FAULT plans -- crash, hang,
+ * stream corruption, stalls, handshake mismatches) against the
+ * master's liveness deadlines, retry/backoff, hedging, elastic
+ * respawn and local-fallback machinery. The determinism contract is
+ * asserted throughout: for any survivable fault plan the sweep
+ * returns results BIT-identical to Explorer::evaluateAll.
+ *
+ * Every test pins explicit per-slot fault plans (which shadow any
+ * ambient FINESSE_DSE_FAULT from CI's chaos matrix), so the asserted
+ * counters are deterministic here even when the rest of the test run
+ * is executing under ambient chaos.
+ *
+ * Like test_distributed_dse, this binary is its own worker pool:
+ * main() dispatches argv[1] == "dse-worker" into the worker loop
+ * before gtest sees the command line.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dse/distributor.h"
+#include "dse/explorer.h"
+
+namespace finesse {
+namespace {
+
+/** Deterministic DsePoint fields, doubles compared bit-exactly. */
+void
+expectSamePoint(const DsePoint &a, const DsePoint &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mulInstrs, b.mulInstrs);
+    EXPECT_EQ(a.linInstrs, b.linInstrs);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.variants.cacheKey(), b.variants.cacheKey());
+    EXPECT_EQ(a.hw.describe(), b.hw.describe());
+    EXPECT_TRUE(a.ipc == b.ipc);
+    EXPECT_TRUE(a.areaMm2 == b.areaMm2);
+    EXPECT_TRUE(a.freqMHz == b.freqMHz);
+    EXPECT_TRUE(a.latencyUs == b.latencyUs);
+    EXPECT_TRUE(a.throughputOps == b.throughputOps);
+    EXPECT_TRUE(a.thptPerArea == b.thptPerArea);
+}
+
+void
+expectSamePoints(const std::vector<DsePoint> &ref,
+                 const std::vector<DsePoint> &got)
+{
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSamePoint(ref[i], got[i]);
+    }
+}
+
+/**
+ * Three trace-key groups (distinct variant configs) of two hardware
+ * models each, on the cheap final-exponentiation-only trace: enough
+ * groups for re-dispatch/hedging to have somewhere to go, small
+ * enough that the chaos matrix stays fast.
+ */
+std::vector<DseRequest>
+smallRequests(const Explorer &ex)
+{
+    std::vector<PipelineModel> models;
+    models.emplace_back();
+    {
+        PipelineModel vliw;
+        vliw.longLat = 8;
+        vliw.shortLat = 2;
+        vliw.issueWidth = 3;
+        vliw.numLinUnits = 2;
+        vliw.numBanks = 3;
+        vliw.writebackFifo = true;
+        models.push_back(vliw);
+    }
+    std::vector<DseRequest> reqs;
+    const std::vector<VariantConfig> cfgs = {
+        ex.allSchoolbook(), ex.allKaratsuba(), ex.manualHeuristic()};
+    for (const VariantConfig &cfg : cfgs) {
+        for (const PipelineModel &hw : models) {
+            DseRequest req;
+            req.opt.part = TracePart::FinalExpOnly;
+            req.opt.variants = cfg;
+            req.opt.hw = hw;
+            req.label = "chaos";
+            reqs.push_back(std::move(req));
+        }
+    }
+    return reqs;
+}
+
+TEST(ChaosDse, FaultPlanParsesTheFullGrammar)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "kill@group:2;hang@group:1;garbage@frame:3;"
+        "stall_ms=500@group:0;bad_version@hello;bad_hash@hello");
+    ASSERT_EQ(plan.actions.size(), 6u);
+
+    EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::Kill);
+    EXPECT_EQ(plan.actions[0].site, FaultAction::Site::Group);
+    EXPECT_EQ(plan.actions[0].index, 2);
+
+    EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::Hang);
+    EXPECT_EQ(plan.actions[1].index, 1);
+
+    EXPECT_EQ(plan.actions[2].kind, FaultAction::Kind::Garbage);
+    EXPECT_EQ(plan.actions[2].site, FaultAction::Site::Frame);
+    EXPECT_EQ(plan.actions[2].index, 3);
+
+    EXPECT_EQ(plan.actions[3].kind, FaultAction::Kind::Stall);
+    EXPECT_EQ(plan.actions[3].stallMs, 500);
+    EXPECT_EQ(plan.actions[3].index, 0);
+
+    EXPECT_EQ(plan.actions[4].kind,
+              FaultAction::Kind::BadHelloVersion);
+    EXPECT_EQ(plan.actions[4].site, FaultAction::Site::Hello);
+    EXPECT_EQ(plan.actions[5].kind, FaultAction::Kind::BadHelloHash);
+
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_TRUE(FaultPlan::parse(";;").empty());
+}
+
+TEST(ChaosDse, FaultPlanRejectsJunk)
+{
+    EXPECT_THROW(FaultPlan::parse("kill"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("boom@group:1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("kill@group:x"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("kill@group:-1"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("stall_ms=@group:0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("kill@nowhere:3"), FatalError);
+}
+
+TEST(ChaosDse, FaultActionsFireOnce)
+{
+    FaultPlan plan = FaultPlan::parse("kill@group:1");
+    EXPECT_EQ(plan.fire(FaultAction::Site::Group, 0), nullptr);
+    FaultAction *fa = plan.fire(FaultAction::Site::Group, 1);
+    ASSERT_NE(fa, nullptr);
+    EXPECT_EQ(fa->kind, FaultAction::Kind::Kill);
+    EXPECT_EQ(plan.fire(FaultAction::Site::Group, 1), nullptr);
+}
+
+TEST(ChaosDse, HungWorkerIsTimedOutKilledAndRedispatched)
+{
+    // The ROADMAP's founding complaint: a hung worker delivers no EOF,
+    // so PR 5's infinite poll() would wedge forever. Slot 0 hangs on
+    // its first group WITHOUT heartbeats; the master must hit its
+    // liveness deadline, SIGKILL + reap the worker, re-dispatch the
+    // group, and still return bit-identical results.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"hang@group:0", ""};
+    opts.livenessTimeoutMs = 1000;
+    opts.pingIntervalMs = 300; // probe the silent worker first
+    opts.hedgeAfterMs = 0;     // isolate the timeout path
+    opts.maxRespawns = 0;      // a replacement would hang again
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.timeoutKills, 1);
+    EXPECT_GE(stats.redispatches, 1);
+    EXPECT_GE(stats.workerDeaths, 1);
+    EXPECT_GE(stats.pingsSent, 1); // probed before the deadline
+    EXPECT_EQ(stats.fallbackGroups, 0);
+}
+
+TEST(ChaosDse, GroupDeadlineKillsAHeartbeatingButStuckWorker)
+{
+    // Slot 0 stalls far beyond the group deadline WITH heartbeats: the
+    // liveness clock alone would never fire, only the hard per-group
+    // deadline catches a live-but-stuck worker.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"stall_ms=30000@group:0", ""};
+    opts.livenessTimeoutMs = 60000;
+    opts.groupDeadlineMs = 700;
+    opts.hedgeAfterMs = 0;
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.timeoutKills, 1);
+    EXPECT_GE(stats.redispatches, 1);
+    EXPECT_GE(stats.pongsReceived, 1); // it WAS heartbeating
+}
+
+TEST(ChaosDse, StragglerIsHedgedToAnIdleWorker)
+{
+    // Slot 0 stalls (with heartbeats) long enough that slot 1 drains
+    // the backlog and goes idle: the master speculatively re-dispatches
+    // the straggling group, the idle worker's result wins, and the
+    // loser is retired at shutdown. No deaths required.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"stall_ms=30000@group:0", ""};
+    opts.livenessTimeoutMs = 60000;
+    opts.hedgeAfterMs = 200;
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.hedges, 1);
+    EXPECT_EQ(stats.timeoutKills, 0);
+    EXPECT_EQ(stats.redispatches, 0);
+}
+
+TEST(ChaosDse, AllWorkersDeadFallsBackToLocalEvaluation)
+{
+    // Every worker and every replacement crashes on its first group;
+    // retries exhaust. Where PR 5 called fatal(), fallbackLocal now
+    // finishes the sweep in-process -- correct results, no throw.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"kill@group:0"};
+    opts.maxGroupRetries = 1;
+    opts.maxRespawns = 1;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.fallbackGroups, 1);
+    EXPECT_GE(stats.workerDeaths, 2);
+}
+
+TEST(ChaosDse, BadHelloVersionIsRejectedAtSpawn)
+{
+    // Both slots announce a wrong protocol version: the master rejects
+    // them before dispatching anything and, with no admissible pool,
+    // completes the sweep locally.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"bad_version@hello"};
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.handshakeFailures, 1);
+    EXPECT_EQ(stats.dispatches, 0); // rejected before ANY dispatch
+    EXPECT_EQ(static_cast<size_t>(stats.fallbackGroups),
+              stats.groups);
+}
+
+TEST(ChaosDse, BadCatalogHashWorkerIsRejectedOthersFinish)
+{
+    // Slot 0 announces a wrong curve-catalog hash (a heterogeneous
+    // build); slot 1 is clean and does all the work.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"bad_hash@hello", ""};
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.handshakeFailures, 1);
+    EXPECT_EQ(stats.fallbackGroups, 0); // slot 1 carried the sweep
+}
+
+TEST(ChaosDse, MismatchedPoolWithoutFallbackThrows)
+{
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    DistributorOptions opts;
+    opts.workerFaultPlans = {"bad_version@hello"};
+    opts.maxRespawns = 0;
+    opts.fallbackLocal = false;
+    EXPECT_THROW(ex.evaluateAllDistributed(reqs, 2, opts),
+                 FatalError);
+}
+
+TEST(ChaosDse, CrashedWorkersAreRespawnedAndFinishTheSweep)
+{
+    // A single-slot pool whose worker crashes on its SECOND group:
+    // each incarnation completes one group and dies, so only elastic
+    // respawn (not fallback) can finish the sweep. Deterministic
+    // bookkeeping: 3 groups, each incarnation does one.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"kill@group:1"};
+    opts.maxRespawns = 3;
+    opts.hedgeAfterMs = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 1, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.respawns, 2);
+    EXPECT_EQ(stats.workerDeaths, 2);
+    EXPECT_EQ(stats.redispatches, 2);
+    EXPECT_EQ(stats.fallbackGroups, 0);
+    EXPECT_EQ(stats.workersSpawned, 3); // 1 initial + 2 respawns
+}
+
+TEST(ChaosDse, GarbageStreamPoisonsTheWorkerNotTheSweep)
+{
+    // Slot 0 answers its first group with unparseable junk: the master
+    // must poison exactly that worker, re-dispatch, and survive.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"garbage@group:0", ""};
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.workerDeaths, 1);
+    EXPECT_GE(stats.redispatches, 1);
+}
+
+TEST(ChaosDse, BitIdenticalForWorkerMatrixUnderFaultMatrix)
+{
+    // The determinism contract, survivable-fault edition: workers in
+    // {1, 2, 4} x a plan matrix covering crash, hang, corruption and
+    // compound faults must all return bit-identical results (elastic
+    // respawn + retries + fallbackLocal guarantee completion).
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    const std::vector<std::string> plans = {
+        "kill@group:1",
+        "hang@group:0",
+        "garbage@frame:0",
+        "stall_ms=300@group:0;kill@group:2",
+    };
+    for (const std::string &plan : plans) {
+        for (int workers : {1, 2, 4}) {
+            SCOPED_TRACE(plan + " workers=" +
+                         std::to_string(workers));
+            DistributorStats stats;
+            DistributorOptions opts;
+            opts.stats = &stats;
+            opts.workerFaultPlans = {plan};
+            opts.livenessTimeoutMs = 1000;
+            opts.maxGroupRetries = 2;
+            const std::vector<DsePoint> got =
+                ex.evaluateAllDistributed(reqs, workers, opts);
+            expectSamePoints(ref, got);
+        }
+    }
+}
+
+} // namespace
+} // namespace finesse
+
+/**
+ * Worker-aware main: the distributor's default worker command
+ * re-executes this binary with argv[1] == "dse-worker"; everything
+ * else goes to gtest (this file links GTest::gtest, not gtest_main).
+ */
+int
+main(int argc, char **argv)
+{
+    if (const std::optional<int> rc =
+            finesse::maybeRunDseWorkerMain(argc, argv))
+        return *rc;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -15,6 +15,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "curve/catalog.h"
@@ -23,6 +24,19 @@
 
 namespace finesse {
 namespace {
+
+/**
+ * CI's chaos legs rerun this suite with an ambient FINESSE_DSE_FAULT
+ * plan in the environment (workers crash/hang/corrupt on a script).
+ * The identity contract must hold regardless -- that is the point of
+ * the rerun -- but exact counter values (deaths, spawns, retries) are
+ * only deterministic fault-free, so those asserts gate on this.
+ */
+bool
+ambientFaults()
+{
+    return std::getenv(kFaultPlanEnv) != nullptr;
+}
 
 /**
  * All deterministic DsePoint fields. Doubles compared EXACTLY (==,
@@ -142,10 +156,12 @@ TEST(DistributedDse, MatchesEvaluateAllForWorkers124)
         const std::vector<DsePoint> got =
             ex.evaluateAllDistributed(reqs, workers, opts);
         expectSamePoints(ref, got);
-        EXPECT_EQ(stats.workerDeaths, 0);
-        EXPECT_EQ(stats.redispatches, 0);
         EXPECT_GT(stats.groups, 1u);
-        EXPECT_LE(stats.workersSpawned, workers);
+        if (!ambientFaults()) {
+            EXPECT_EQ(stats.workerDeaths, 0);
+            EXPECT_EQ(stats.redispatches, 0);
+            EXPECT_LE(stats.workersSpawned, workers);
+        }
     }
 }
 
@@ -190,19 +206,26 @@ TEST(DistributedDse, Kill9MidGroupRedispatchesAndStaysIdentical)
     DistributorOptions opts;
     opts.stats = &stats;
     opts.killWorkerIndex = 0;
+    opts.maxRespawns = 0; // a replacement would replay the kill plan
     const std::vector<DsePoint> got =
         ex.evaluateAllDistributed(reqs, 2, opts);
     expectSamePoints(ref, got);
-    EXPECT_EQ(stats.workersSpawned, 2);
-    EXPECT_EQ(stats.workerDeaths, 1);
-    EXPECT_EQ(stats.redispatches, 1);
+    if (!ambientFaults()) {
+        EXPECT_EQ(stats.workersSpawned, 2);
+        EXPECT_EQ(stats.workerDeaths, 1);
+        EXPECT_EQ(stats.redispatches, 1);
+        EXPECT_EQ(stats.workersSignaled, 1);
+    }
 }
 
 TEST(DistributedDse, AllWorkersDeadFailsWithBoundedRetries)
 {
-    // Every worker kills itself on its first group: the sweep must
-    // terminate with an error (no infinite re-spawn/re-dispatch), and
-    // the retry counter must stay within its bound.
+    // Every worker (and every replacement: respawns inherit the slot
+    // plan) kills itself on its first group. With fallbackLocal off,
+    // the sweep must terminate with an error -- no infinite
+    // re-spawn/re-dispatch -- and the retry counter must stay within
+    // its bound. (The fallbackLocal=true flavor of this scenario --
+    // correct results instead of an error -- lives in test_chaos_dse.)
     Explorer ex("BN254N");
     std::vector<DseRequest> reqs;
     reqs.emplace_back();
@@ -213,6 +236,7 @@ TEST(DistributedDse, AllWorkersDeadFailsWithBoundedRetries)
     opts.stats = &stats;
     opts.killAllWorkers = true;
     opts.maxGroupRetries = 5;
+    opts.fallbackLocal = false;
     EXPECT_THROW(ex.evaluateAllDistributed(reqs, 2, opts), FatalError);
     EXPECT_GE(stats.workerDeaths, 1);
     EXPECT_LE(stats.redispatches, opts.maxGroupRetries);
@@ -233,7 +257,8 @@ TEST(DistributedDse, WorkerSideErrorPropagatesWithoutRetry)
     opts.stats = &stats;
     EXPECT_THROW(distributeEvaluate("NOT-A-CURVE", reqs, 1, opts),
                  FatalError);
-    EXPECT_EQ(stats.redispatches, 0);
+    if (!ambientFaults())
+        EXPECT_EQ(stats.redispatches, 0);
 }
 
 TEST(DistributedDse, EmptyRequestListReturnsEmpty)
@@ -256,7 +281,8 @@ TEST(DistributedDse, MoreWorkersThanGroupsIsFine)
     const std::vector<DsePoint> got =
         ex.evaluateAllDistributed(reqs, 8, opts);
     expectSamePoints(ref, got);
-    EXPECT_EQ(stats.workersSpawned, 1); // capped at group count
+    if (!ambientFaults())
+        EXPECT_EQ(stats.workersSpawned, 1); // capped at group count
 }
 
 TEST(DistributedDse, ExploreVariantsDistributedFindsSameBest)

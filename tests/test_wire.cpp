@@ -14,6 +14,8 @@
 #include <cmath>
 #include <limits>
 
+#include "curve/catalog.h"
+#include "dse/distributor.h"
 #include "dse/wire.h"
 #include "support/rng.h"
 
@@ -174,6 +176,55 @@ TEST(Wire, WorkerErrorRoundTrips)
     EXPECT_EQ(encodeWorkerError(decoded), frame);
 }
 
+TEST(Wire, HelloRoundTripsByteIdentically)
+{
+    Hello msg;
+    msg.version = kProtocolVersion;
+    msg.catalogHash = 0xfeedfacecafebeefull;
+    const std::vector<u8> frame = encodeHello(msg);
+    const Hello decoded = decodeHello(payloadOf(frame));
+    EXPECT_EQ(decoded.version, msg.version);
+    EXPECT_EQ(decoded.catalogHash, msg.catalogHash);
+    EXPECT_EQ(encodeHello(decoded), frame);
+}
+
+TEST(Wire, PingPongRoundTripByteIdentically)
+{
+    Ping ping;
+    ping.seq = 0x1122334455667788ull;
+    const std::vector<u8> pingFrame = encodePing(ping);
+    const Ping pingBack = decodePing(payloadOf(pingFrame));
+    EXPECT_EQ(pingBack.seq, ping.seq);
+    EXPECT_EQ(encodePing(pingBack), pingFrame);
+
+    Pong pong;
+    pong.seq = ~0ull; // heartbeats use 0; probes echo any value
+    const std::vector<u8> pongFrame = encodePong(pong);
+    const Pong pongBack = decodePong(payloadOf(pongFrame));
+    EXPECT_EQ(pongBack.seq, pong.seq);
+    EXPECT_EQ(encodePong(pongBack), pongFrame);
+}
+
+TEST(Wire, HelloRejectReasonGatesVersionAndCatalogHash)
+{
+    // The master-side admission check behind the handshake: a worker
+    // announcing the compiled-in version AND catalog fingerprint is
+    // admitted (empty reason); either field off by one bit names the
+    // mismatch. This is what rejects heterogeneous pools at spawn.
+    wire::Hello ok;
+    ok.version = kProtocolVersion;
+    ok.catalogHash = catalogHash();
+    EXPECT_TRUE(helloRejectReason(ok).empty());
+
+    wire::Hello wrongVersion = ok;
+    wrongVersion.version ^= 1;
+    EXPECT_FALSE(helloRejectReason(wrongVersion).empty());
+
+    wire::Hello wrongHash = ok;
+    wrongHash.catalogHash ^= 1;
+    EXPECT_FALSE(helloRejectReason(wrongHash).empty());
+}
+
 // ---------------------------------------------------- frame assembly
 
 TEST(Wire, FrameBufferReassemblesByteDribbledStream)
@@ -219,6 +270,33 @@ TEST(Wire, FrameBufferRejectsUnknownType)
     buf.append(frame.data(), frame.size());
     Frame f;
     EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FrameBufferAcceptsHandshakeAndLivenessTypes)
+{
+    // The protocol-2 types (Hello=4, Ping=5, Pong=6) assemble like any
+    // frame; one past the last known type is rejected -- the guard
+    // must track the enum, not stay pinned at WorkerError.
+    const std::vector<std::vector<u8>> frames = {
+        encodeHello({kProtocolVersion, 7}), encodePing({1}),
+        encodePong({1})};
+    FrameBuffer buf;
+    for (const std::vector<u8> &fr : frames)
+        buf.append(fr.data(), fr.size());
+    Frame f;
+    ASSERT_TRUE(buf.next(f));
+    EXPECT_EQ(f.type, FrameType::Hello);
+    ASSERT_TRUE(buf.next(f));
+    EXPECT_EQ(f.type, FrameType::Ping);
+    ASSERT_TRUE(buf.next(f));
+    EXPECT_EQ(f.type, FrameType::Pong);
+    EXPECT_FALSE(buf.next(f));
+
+    std::vector<u8> bad = encodePong({1});
+    bad[4] = static_cast<u8>(FrameType::Pong) + 1;
+    FrameBuffer rejecting;
+    rejecting.append(bad.data(), bad.size());
+    EXPECT_THROW(rejecting.next(f), FatalError);
 }
 
 TEST(Wire, FrameBufferRejectsOversizedLength)
@@ -286,6 +364,39 @@ TEST(Wire, EveryTruncationOfValidPayloadsIsRejectedCleanly)
         EXPECT_THROW(decodeGroupResult(cut), FatalError)
             << "prefix " << n << " of " << res.size();
     }
+
+    const std::vector<u8> hello = payloadOf(
+        encodeHello({kProtocolVersion, 0xfeedfacecafebeefull}));
+    for (size_t n = 0; n < hello.size(); ++n) {
+        std::vector<u8> cut(
+            hello.begin(),
+            hello.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(decodeHello(cut), FatalError)
+            << "prefix " << n << " of " << hello.size();
+    }
+
+    const std::vector<u8> ping =
+        payloadOf(encodePing({0x1122334455667788ull}));
+    for (size_t n = 0; n < ping.size(); ++n) {
+        std::vector<u8> cut(
+            ping.begin(), ping.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(decodePing(cut), FatalError)
+            << "prefix " << n << " of " << ping.size();
+        EXPECT_THROW(decodePong(cut), FatalError)
+            << "prefix " << n << " of " << ping.size();
+    }
+}
+
+TEST(Wire, HandshakeAndLivenessTrailingGarbageIsRejected)
+{
+    std::vector<u8> hello =
+        payloadOf(encodeHello({kProtocolVersion, 1}));
+    hello.push_back(0);
+    EXPECT_THROW(decodeHello(hello), FatalError);
+
+    std::vector<u8> pong = payloadOf(encodePong({1}));
+    pong.push_back(0);
+    EXPECT_THROW(decodePong(pong), FatalError);
 }
 
 TEST(Wire, TrailingGarbageIsRejected)
@@ -339,6 +450,9 @@ TEST(Wire, RandomBytesFuzz)
         expectNoUb(junk, [](const std::vector<u8> &p) {
             decodeWorkerError(p);
         });
+        expectNoUb(junk, [](const std::vector<u8> &p) { decodeHello(p); });
+        expectNoUb(junk, [](const std::vector<u8> &p) { decodePing(p); });
+        expectNoUb(junk, [](const std::vector<u8> &p) { decodePong(p); });
     }
 }
 

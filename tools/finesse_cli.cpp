@@ -209,8 +209,13 @@ main(int argc, char **argv)
             // only the operator variants are explored, fanned out over
             // opt.jobs worker threads (identical result for any value).
             const auto t0 = std::chrono::steady_clock::now();
+            DistributorStats dstats;
+            DistributorOptions dopts;
+            applyDistributorConfig(cfg, dopts);
+            dopts.stats = &dstats;
             const DsePoint best =
-                ex.exploreVariants(opt, Objective::MinCycles, true);
+                ex.exploreVariants(opt, Objective::MinCycles, true,
+                                   dopts);
             const double sweepSeconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
@@ -221,6 +226,8 @@ main(int argc, char **argv)
                             "in %.2f s\n",
                             ex.variantSpace(true).size(),
                             opt.dseWorkers, sweepSeconds);
+                std::printf("distributor: %s\n",
+                            dstats.describe().c_str());
             } else {
                 std::printf("swept %zu combos on %d workers in %.2f s "
                             "(trace cache: %zu miss, %zu hit, "
