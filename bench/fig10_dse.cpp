@@ -123,36 +123,57 @@ main(int argc, char **argv)
     const double parallelSeconds = wallSeconds(t2);
     const TraceCacheStats cache = traceCacheStats();
 
-    // Distributed leg: the same sweep fanned out over worker
-    // SUBPROCESSES (multi-process engine, dse/distributor.h). Worker
-    // processes trace from their own cold caches, so this measures
-    // the full remote cost: wire round trip + per-worker front end +
-    // batched backend. Must be bit-identical like every other leg.
+    // Distributed legs: the same sweep fanned out over worker
+    // subprocesses (multi-process engine, dse/distributor.h), once
+    // per transport -- pipe fds and loopback TCP sockets -- so the
+    // socket layer's cost shows up as a separate trend line. Worker
+    // processes trace from their own cold caches, so each leg
+    // measures the full remote cost: wire round trip + per-worker
+    // front end + batched backend. Must be bit-identical like every
+    // other leg.
     const int dseWorkers = 2;
-    DistributorStats dstats;
-    DistributorOptions dopts;
-    dopts.stats = &dstats;
-    const auto t3 = std::chrono::steady_clock::now();
-    const std::vector<DsePoint> dist =
-        ex.evaluateAllDistributed(reqs, dseWorkers, dopts);
-    const double distributedSeconds = wallSeconds(t3);
+    struct DistLeg
+    {
+        const char *name;
+        DseTransport transport;
+        double seconds = 0;
+        size_t mismatches = 0;
+        DistributorStats stats;
+    };
+    std::vector<DistLeg> distLegs = {
+        {"pipe", DseTransport::Pipe, 0, 0, {}},
+        {"loopback_tcp", DseTransport::LoopbackTcp, 0, 0, {}},
+    };
+    for (DistLeg &leg : distLegs) {
+        DistributorOptions dopts;
+        dopts.stats = &leg.stats;
+        dopts.transport = leg.transport;
+        const auto t3 = std::chrono::steady_clock::now();
+        const std::vector<DsePoint> dist =
+            ex.evaluateAllDistributed(reqs, dseWorkers, dopts);
+        leg.seconds = wallSeconds(t3);
+        for (size_t i = 0; i < dist.size(); ++i) {
+            if (dist[i].cycles != serial[i].cycles ||
+                dist[i].instrs != serial[i].instrs ||
+                dist[i].ipc != serial[i].ipc ||
+                dist[i].areaMm2 != serial[i].areaMm2)
+                ++leg.mismatches;
+        }
+    }
 
     // Determinism contract: the parallel and distributed sweeps are
     // bit-identical to the serial one. Counted per leg (parallel /
-    // warm / distributed) so an identity failure in CI names the
-    // engine that diverged.
+    // warm / per-transport distributed) so an identity failure in CI
+    // names the engine that diverged.
     size_t parallelMismatches = 0;
-    size_t distributedMismatches = 0;
     for (size_t i = 0; i < points.size(); ++i) {
         if (points[i].cycles != serial[i].cycles ||
             points[i].instrs != serial[i].instrs)
             ++parallelMismatches;
-        if (dist[i].cycles != serial[i].cycles ||
-            dist[i].instrs != serial[i].instrs ||
-            dist[i].ipc != serial[i].ipc ||
-            dist[i].areaMm2 != serial[i].areaMm2)
-            ++distributedMismatches;
     }
+    size_t distributedMismatches = 0;
+    for (const DistLeg &leg : distLegs)
+        distributedMismatches += leg.mismatches;
     const size_t mismatches = parallelMismatches + distributedMismatches;
 
     TextTable t;
@@ -211,19 +232,22 @@ main(int argc, char **argv)
         "batched backend for all %zu points).\n"
         "Sweep: %zu points | serial %.2f s (front end %.2f s + "
         "backend %.2f s) | parallel %.2f s on %d workers | speedup "
-        "%.2fx | %zu parallel + %zu warm mismatches\n"
-        "Distributed: %.2f s on %d worker processes (%zu groups, "
-        "%d spawned, %d deaths) | speedup %.2fx vs serial | %zu "
-        "mismatches\n",
+        "%.2fx | %zu parallel + %zu warm mismatches\n",
         cache.misses, cache.hits, cache.coalesced, points.size(),
         points.size(), serialSeconds, frontendSerialSeconds,
         backendSerialSeconds, parallelSeconds, jobs, speedup,
-        parallelMismatches, warmMismatches, distributedSeconds,
-        dseWorkers, dstats.groups, dstats.workersSpawned,
-        dstats.workerDeaths,
-        distributedSeconds > 0 ? serialSeconds / distributedSeconds
-                               : 0.0,
-        distributedMismatches);
+        parallelMismatches, warmMismatches);
+    for (const DistLeg &leg : distLegs) {
+        std::printf(
+            "Distributed (%s): %.2f s on %d worker processes (%zu "
+            "groups, %d spawned, %d deaths, %d net faults) | speedup "
+            "%.2fx vs serial | %zu mismatches\n",
+            leg.name, leg.seconds, dseWorkers, leg.stats.groups,
+            leg.stats.workersSpawned, leg.stats.workerDeaths,
+            leg.stats.networkFaultsInjected,
+            leg.seconds > 0 ? serialSeconds / leg.seconds : 0.0,
+            leg.mismatches);
+    }
 
     BenchJson json;
     json.str("bench", "fig10_dse")
@@ -235,29 +259,49 @@ main(int argc, char **argv)
         .num("backend_serial_seconds", backendSerialSeconds)
         .num("parallel_seconds", parallelSeconds)
         .num("speedup", speedup)
-        .count("dse_workers", static_cast<size_t>(dseWorkers))
-        .num("distributed_seconds", distributedSeconds)
+        .count("dse_workers", static_cast<size_t>(dseWorkers));
+    // Legacy aggregate keys (pipe leg) so existing trend lines keep
+    // their history, then one block per transport. The fault-tolerance
+    // counters are informational, not gated: all zero on a healthy
+    // run, non-zero under an ambient FINESSE_DSE_FAULT plan or a
+    // loaded machine -- trend tracking only.
+    const DistLeg &pipeLeg = distLegs[0];
+    json.num("distributed_seconds", pipeLeg.seconds)
         .num("distributed_speedup",
-             distributedSeconds > 0 ? serialSeconds / distributedSeconds
-                                    : 0.0)
-        .count("distributed_groups", dstats.groups)
+             pipeLeg.seconds > 0 ? serialSeconds / pipeLeg.seconds
+                                 : 0.0)
+        .count("distributed_groups", pipeLeg.stats.groups)
         .count("distributed_worker_deaths",
-               static_cast<size_t>(dstats.workerDeaths))
-        // Fault-tolerance counters (informational, not gated: all zero
-        // on a healthy run, non-zero under an ambient FINESSE_DSE_FAULT
-        // plan or a loaded machine -- trend tracking only).
-        .count("distributed_redispatches",
-               static_cast<size_t>(dstats.redispatches))
-        .count("distributed_timeout_kills",
-               static_cast<size_t>(dstats.timeoutKills))
-        .count("distributed_respawns",
-               static_cast<size_t>(dstats.respawns))
-        .count("distributed_hedges", static_cast<size_t>(dstats.hedges))
-        .count("distributed_handshake_failures",
-               static_cast<size_t>(dstats.handshakeFailures))
-        .count("distributed_fallback_groups",
-               static_cast<size_t>(dstats.fallbackGroups))
-        .count("parallel_mismatches", parallelMismatches)
+               static_cast<size_t>(pipeLeg.stats.workerDeaths));
+    for (const DistLeg &leg : distLegs) {
+        const std::string p = std::string("distributed_") + leg.name;
+        const DistributorStats &s = leg.stats;
+        json.num(p + "_seconds", leg.seconds)
+            .num(p + "_speedup",
+                 leg.seconds > 0 ? serialSeconds / leg.seconds : 0.0)
+            .count(p + "_worker_deaths",
+                   static_cast<size_t>(s.workerDeaths))
+            .count(p + "_redispatches",
+                   static_cast<size_t>(s.redispatches))
+            .count(p + "_timeout_kills",
+                   static_cast<size_t>(s.timeoutKills))
+            .count(p + "_respawns", static_cast<size_t>(s.respawns))
+            .count(p + "_hedges", static_cast<size_t>(s.hedges))
+            .count(p + "_handshake_failures",
+                   static_cast<size_t>(s.handshakeFailures))
+            .count(p + "_fallback_groups",
+                   static_cast<size_t>(s.fallbackGroups))
+            .count(p + "_remote_connects",
+                   static_cast<size_t>(s.remoteConnects))
+            .count(p + "_remote_connect_failures",
+                   static_cast<size_t>(s.remoteConnectFailures))
+            .count(p + "_host_quarantines",
+                   static_cast<size_t>(s.hostQuarantines))
+            .count(p + "_net_faults",
+                   static_cast<size_t>(s.networkFaultsInjected))
+            .count(p + "_mismatches", leg.mismatches);
+    }
+    json.count("parallel_mismatches", parallelMismatches)
         .count("warm_mismatches", warmMismatches)
         .count("distributed_mismatches", distributedMismatches)
         .count("trace_misses", cache.misses)

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Chaos proxy implementation. One forwarder thread per wrapped
+ * connection, two directions:
+ *
+ *   master -> worker: blind byte forwarding (the master is not the
+ *   party under test; corrupting its dispatches would just test the
+ *   worker's decoder, which the wire fuzz tests already do).
+ *
+ *   worker -> master: frames are reassembled (complete frames only,
+ *   so a fault applies to a whole frame, never an arbitrary byte
+ *   split) and forwarded one at a time with the plan's network
+ *   actions applied in between.
+ *
+ * Lifecycle: the master half-closing its socketpair end propagates as
+ * closeWrite() to the worker (clean shutdown); the master CLOSING its
+ * end makes the forwarder's next pair write fail with EPIPE and the
+ * thread exits (hard terminate). Worker EOF shuts the pair down so
+ * the master sees EOF exactly as it would without the proxy.
+ */
+#include "dse/chaosproxy.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dse/wire.h"
+
+namespace finesse {
+
+namespace {
+
+class ChaosProxyConnection final : public Connection
+{
+  public:
+    ChaosProxyConnection(std::unique_ptr<Connection> inner,
+                         FaultPlan plan, std::atomic<int> *faultsFired)
+        : inner_(std::move(inner)), plan_(std::move(plan)),
+          faultsFired_(faultsFired)
+    {
+        ignoreSigpipe(); // a torn-down pair must EPIPE, not kill us
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) !=
+            0)
+            fatal("chaos proxy: socketpair: ", std::strerror(errno));
+        masterFd_ = sv[0];
+        proxyFd_ = sv[1];
+        thread_ = std::thread([this] { pump(); });
+    }
+
+    ~ChaosProxyConnection() override { terminate(); }
+
+    int pollFd() const override { return masterFd_; }
+
+    bool
+    writeAll(const void *data, size_t n) override
+    {
+        return masterFd_ >= 0 && writeAllFd(masterFd_, data, n);
+    }
+
+    long
+    readSome(void *buf, size_t n) override
+    {
+        return masterFd_ >= 0 ? readSomeFd(masterFd_, buf, n) : 0;
+    }
+
+    void
+    closeWrite() override
+    {
+        if (masterFd_ >= 0)
+            ::shutdown(masterFd_, SHUT_WR);
+    }
+
+    bool
+    terminate() override
+    {
+        // Order matters: the pump must be told to exit BEFORE the
+        // join, because a hung worker (hang-fault chaos) never
+        // produces the EOF the pump would otherwise wait for. The
+        // shutdown wakes its poll; the flag makes it exit outright
+        // instead of treating the wakeup as a graceful half-close.
+        stop_.store(true, std::memory_order_relaxed);
+        if (proxyFd_ >= 0)
+            ::shutdown(proxyFd_, SHUT_RDWR);
+        closeMasterFd();
+        joinPump();
+        return inner_ ? inner_->terminate() : false;
+    }
+
+    void
+    finish() override
+    {
+        // Half-close ripples through the pump to the worker; the pump
+        // exits on the worker's EOF, after which the inner transport
+        // can be reaped gracefully.
+        closeWrite();
+        joinPump();
+        closeMasterFd();
+        if (inner_)
+            inner_->finish();
+    }
+
+    std::string
+    describe() const override
+    {
+        return "chaos-proxied " +
+               (inner_ ? inner_->describe() : std::string("connection"));
+    }
+
+  private:
+    void
+    closeMasterFd()
+    {
+        if (masterFd_ >= 0)
+            ::close(masterFd_);
+        masterFd_ = -1;
+    }
+
+    void
+    joinPump()
+    {
+        if (thread_.joinable())
+            thread_.join();
+        if (proxyFd_ >= 0)
+            ::close(proxyFd_);
+        proxyFd_ = -1;
+    }
+
+    void
+    fired()
+    {
+        if (faultsFired_)
+            faultsFired_->fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Apply faults to the complete frames in @p buf and forward them
+     * to the master. Returns false when the connection must close
+     * (Drop fired or the pair write failed). Consumed bytes are
+     * erased from @p buf; an unparseable header flips @p scanning off
+     * and flushes everything blind from then on.
+     */
+    bool
+    forwardFrames(std::vector<u8> &buf, bool &scanning)
+    {
+        size_t pos = 0;
+        bool ok = true;
+        while (ok) {
+            if (!scanning) {
+                if (buf.size() > pos)
+                    ok = writeAllFd(proxyFd_, buf.data() + pos,
+                                    buf.size() - pos);
+                pos = buf.size();
+                break;
+            }
+            if (buf.size() - pos < wire::kHeaderBytes)
+                break;
+            wire::WireReader header(buf.data() + pos,
+                                    wire::kHeaderBytes);
+            const u32 magic = header.u32v();
+            header.u8v(); // type: validated by the real endpoint
+            const u32 length = header.u32v();
+            if (magic != wire::kMagic || length > wire::kMaxPayload) {
+                // The worker is writing junk (its own garbage fault):
+                // frame ordinals are meaningless now, go transparent.
+                scanning = false;
+                continue;
+            }
+            const size_t frameBytes = wire::kHeaderBytes + length;
+            if (buf.size() - pos < frameBytes)
+                break; // tail of a frame still in flight
+            const u8 *frame = buf.data() + pos;
+            FaultAction *fa =
+                plan_.fire(FaultAction::Site::Frame, frameIdx_++);
+            // The wire can express the network kinds plus Garbage
+            // (junk injection); anything else (kill, hang, stall,
+            // bad handshakes) only a worker can perform -- skip.
+            if (fa && !fa->isNetworkKind() &&
+                fa->kind != FaultAction::Kind::Garbage)
+                fa = nullptr;
+            if (!fa) {
+                ok = writeAllFd(proxyFd_, frame, frameBytes);
+            } else {
+                fired();
+                switch (fa->kind) {
+                  case FaultAction::Kind::Delay:
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(fa->stallMs));
+                    ok = writeAllFd(proxyFd_, frame, frameBytes);
+                    break;
+                  case FaultAction::Kind::Truncate:
+                    // Half the frame arrives, the rest evaporates;
+                    // the stream stays up and the NEXT frame's bytes
+                    // land where the master expects this frame's
+                    // tail -> header desync -> poisoned stream.
+                    ok = writeAllFd(proxyFd_, frame, frameBytes / 2);
+                    break;
+                  case FaultAction::Kind::Drop:
+                    // Connection reset mid-frame: half the bytes,
+                    // then EOF.
+                    writeAllFd(proxyFd_, frame, frameBytes / 2);
+                    ok = false;
+                    break;
+                  default:
+                    // Garbage as a NETWORK action: junk injected by
+                    // the wire ahead of an otherwise intact frame.
+                    {
+                        const std::vector<u8> junk(32, 0x5A);
+                        ok = writeAllFd(proxyFd_, junk.data(),
+                                        junk.size()) &&
+                             writeAllFd(proxyFd_, frame, frameBytes);
+                    }
+                    break;
+                }
+            }
+            pos += frameBytes;
+        }
+        buf.erase(buf.begin(), buf.begin() + static_cast<long>(pos));
+        return ok;
+    }
+
+    void
+    pump()
+    {
+        std::vector<u8> chunk(1 << 16);
+        std::vector<u8> inbound; // worker->master reassembly
+        bool masterOpen = true;  // master->worker direction alive
+        bool scanning = true;
+        for (;;) {
+            pollfd fds[2];
+            int n = 0, pairIdx = -1;
+            if (masterOpen) {
+                fds[n] = {proxyFd_, POLLIN, 0};
+                pairIdx = n++;
+            }
+            const int innerIdx = n;
+            fds[n++] = {inner_->pollFd(), POLLIN, 0};
+            int rc = ::poll(fds, static_cast<nfds_t>(n), -1);
+            if (stop_.load(std::memory_order_relaxed))
+                break; // terminate(): exit even if the worker is hung
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (pairIdx >= 0 && fds[pairIdx].revents != 0) {
+                const long r =
+                    readSomeFd(proxyFd_, chunk.data(), chunk.size());
+                if (r == 0 || r == -1) {
+                    // Master half-closed (finish) or closed
+                    // (terminate): pass the EOF along; results still
+                    // flow until the worker closes its end.
+                    masterOpen = false;
+                    inner_->closeWrite();
+                } else if (r > 0 &&
+                           !inner_->writeAll(chunk.data(),
+                                             static_cast<size_t>(r))) {
+                    break; // worker gone; its EOF surfaces below
+                }
+            }
+            if (fds[innerIdx].revents != 0) {
+                const long r =
+                    inner_->readSome(chunk.data(), chunk.size());
+                if (r == kReadAgainFd)
+                    continue;
+                if (r <= 0)
+                    break; // worker EOF/error -> master sees EOF
+                inbound.insert(inbound.end(), chunk.data(),
+                               chunk.data() + r);
+                if (!forwardFrames(inbound, scanning))
+                    break; // Drop fired or master is gone
+            }
+        }
+        ::shutdown(proxyFd_, SHUT_RDWR);
+    }
+
+    std::unique_ptr<Connection> inner_;
+    FaultPlan plan_;
+    std::atomic<int> *faultsFired_;
+    std::atomic<bool> stop_{false};
+    int masterFd_ = -1;
+    int proxyFd_ = -1;
+    int frameIdx_ = 0; ///< pump-thread only
+    std::thread thread_;
+};
+
+} // namespace
+
+std::unique_ptr<Connection>
+wrapWithChaosProxy(std::unique_ptr<Connection> inner, FaultPlan plan,
+                   std::atomic<int> *faultsFired)
+{
+    return std::make_unique<ChaosProxyConnection>(
+        std::move(inner), std::move(plan), faultsFired);
+}
+
+} // namespace finesse

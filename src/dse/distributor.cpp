@@ -4,22 +4,31 @@
  * sweep.
  *
  * Master: groups requests by front-end trace key (non-batchable
- * requests become singleton groups), spawns worker subprocesses, and
- * runs a poll() loop with finite timeouts. Workers are admitted by a
- * Hello handshake (protocol version + curve-catalog hash) before any
- * dispatch; one group is in flight per worker. A worker that hits
- * EOF, poisons its stream (bad frame) or misses its liveness/group
- * deadline is SIGKILLed, reaped at once, and declared dead: its
+ * requests become singleton groups), builds a pool of worker
+ * CONNECTIONS -- pipe subprocesses, loopback-TCP subprocesses, or
+ * remote `dse-worker --listen` peers named by a host pool -- and runs
+ * a poll() loop with finite timeouts. Workers are admitted by a Hello
+ * handshake (protocol version + curve-catalog hash) before any
+ * dispatch; until the Hello is validated the slot's frame buffer is
+ * capped to a few KB, so an unauthenticated peer cannot drive a large
+ * allocation with a forged length prefix. One group is in flight per
+ * worker. A worker that hits EOF, poisons its stream (bad frame) or
+ * misses its liveness/group deadline is terminated (SIGKILL + reap
+ * locally; socket close for a remote, whose abandoned result then has
+ * nowhere to land -- which is what keeps re-dispatch safe), and its
  * in-flight group is re-queued at the FRONT of the pending list under
- * a per-group retry budget with capped exponential backoff, and a
- * replacement worker is spawned while the respawn budget lasts. Once
- * the backlog drains, long-running stragglers are hedged: the same
- * group goes to an idle worker and the first result wins (safe --
- * both compute identical bits). When a group exhausts its retries or
- * the pool empties for good, fallbackLocal evaluates the remainder
- * in-process via Explorer::evaluateAll. Results are scattered into
- * the output by original request index, so the merge is the same
- * index-ordered reduction as Explorer::evaluateAll.
+ * a per-group retry budget with capped exponential backoff. Remote
+ * hosts that fail to connect are quarantined with the same capped
+ * backoff and retried on that timer; in the meantime the slot refills
+ * with a local worker (remoteDegradeToLocal), so losing every remote
+ * degrades to the all-local path. Once the backlog drains,
+ * long-running stragglers are hedged: the same group goes to an idle
+ * worker and the first result wins (safe -- both compute identical
+ * bits). When a group exhausts its retries or the pool empties for
+ * good, fallbackLocal evaluates the remainder in-process via
+ * Explorer::evaluateAll. Results are scattered into the output by
+ * original request index, so the merge is the same index-ordered
+ * reduction as Explorer::evaluateAll.
  *
  * Worker: sends Hello, then a blocking read loop. Each GroupRequest
  * is evaluated with Explorer::evaluateAll(requests, jobs=1) -- the
@@ -28,11 +37,14 @@
  * is never mistaken for a hung one) and answered with one GroupResult
  * frame; Pings are answered with Pongs. A FINESSE_DSE_FAULT plan in
  * the environment injects crashes/hangs/corruption at scripted points
- * (the chaos harness of tests/test_chaos_dse.cpp).
+ * (the chaos harness of tests/test_chaos_dse.cpp); its NETWORK-kind
+ * actions (drop/trunc/delay/refuse) are instead executed master-side
+ * by the chaos proxy (dse/chaosproxy.h).
  */
 #include "dse/distributor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -41,6 +53,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -51,6 +64,9 @@
 #include <unistd.h>
 
 #include "curve/catalog.h"
+#include "dse/chaosproxy.h"
+#include "support/connection.h"
+#include "support/socket.h"
 #include "support/subprocess.h"
 
 namespace finesse {
@@ -68,6 +84,13 @@ constexpr int kHandshakeFloorMs = 5000;
 
 /** Liveness default when neither the option nor the env is set. */
 constexpr int kDefaultLivenessMs = 10000;
+
+/**
+ * Frame-payload cap for a peer that has not completed its handshake:
+ * a Hello is ~20 bytes, so anything beyond a few KB before admission
+ * is garbage and poisons the stream instead of allocating.
+ */
+constexpr size_t kPreHelloPayloadCap = 4096;
 
 int
 envMsOr(const char *name, int dflt)
@@ -99,6 +122,15 @@ struct Group
     Clock::time_point eligibleAt{}; ///< retry-backoff gate
 };
 
+/** One remote endpoint of the worker pool, with quarantine state. */
+struct HostState
+{
+    HostPort addr;
+    bool local = false; ///< the "local" pool token: pin a local slot
+    int failures = 0;   ///< consecutive connect failures
+    Clock::time_point eligibleAt{}; ///< quarantine gate
+};
+
 struct WorkerSlot
 {
     enum class State {
@@ -108,7 +140,7 @@ struct WorkerSlot
         Busy,      ///< evaluating a group
     };
 
-    Subprocess proc;
+    std::unique_ptr<Connection> conn;
     wire::FrameBuffer frames;
     State state = State::Dead;
     long group = -1; ///< in-flight group id, -1 = none
@@ -116,6 +148,15 @@ struct WorkerSlot
     Clock::time_point dispatchedAt{}; ///< current group's dispatch time
     Clock::time_point lastPingAt{};
     std::vector<std::string> env; ///< respawns reuse the slot's env
+
+    int hostIdx = -1;    ///< index into the host pool; -1 = local slot
+    FaultPlan framePlan; ///< stream-fault template; COPIED per spawn,
+                         ///< so a respawned connection replays its
+                         ///< faults afresh (like worker-side plans)
+    FaultPlan connectPlan;   ///< connect-site actions, persistent so a
+                             ///< scripted refusal fires once per slot,
+                             ///< not once per respawn
+    int connectAttempts = 0; ///< connect-site ordinal
 };
 
 } // namespace
@@ -131,10 +172,29 @@ DistributorStats::describe() const
        << workersSignaled << " exited=" << workersExited
        << " timeout-kills=" << timeoutKills << " handshake-rejects="
        << handshakeFailures << ") respawned=" << respawns
-       << " | fallback-local=" << fallbackGroups << " groups/"
-       << fallbackPoints << " points | pings=" << pingsSent
-       << " pongs=" << pongsReceived;
+       << " | remote connects=" << remoteConnects << " connect-fails="
+       << remoteConnectFailures << " quarantines=" << hostQuarantines
+       << " degraded-local=" << remoteDegraded << " net-faults="
+       << networkFaultsInjected << " | fallback-local="
+       << fallbackGroups << " groups/" << fallbackPoints
+       << " points | pings=" << pingsSent << " pongs="
+       << pongsReceived;
     return os.str();
+}
+
+DseTransport
+resolveDseTransport(DseTransport requested)
+{
+    if (requested != DseTransport::Default)
+        return requested;
+    const char *v = std::getenv(kTransportEnv);
+    if (!v || !*v || std::strcmp(v, "pipe") == 0)
+        return DseTransport::Pipe;
+    if (std::strcmp(v, "loopback-tcp") == 0 ||
+        std::strcmp(v, "tcp") == 0)
+        return DseTransport::LoopbackTcp;
+    fatal("unknown ", kTransportEnv, " '", v,
+          "' (expected pipe | loopback-tcp)");
 }
 
 FaultPlan
@@ -177,8 +237,17 @@ FaultPlan::parse(const std::string &spec)
             fa.kind = FaultAction::Kind::BadHelloVersion;
         } else if (action == "bad_hash") {
             fa.kind = FaultAction::Kind::BadHelloHash;
+        } else if (action == "drop") {
+            fa.kind = FaultAction::Kind::Drop;
+        } else if (action == "trunc") {
+            fa.kind = FaultAction::Kind::Truncate;
+        } else if (action == "refuse") {
+            fa.kind = FaultAction::Kind::Refuse;
         } else if (action.rfind("stall_ms=", 0) == 0) {
             fa.kind = FaultAction::Kind::Stall;
+            fa.stallMs = parseIndex(action.substr(9), term);
+        } else if (action.rfind("delay_ms=", 0) == 0) {
+            fa.kind = FaultAction::Kind::Delay;
             fa.stallMs = parseIndex(action.substr(9), term);
         } else {
             fatal("fault plan: unknown action '", action, "'");
@@ -186,6 +255,11 @@ FaultPlan::parse(const std::string &spec)
 
         if (site == "hello") {
             fa.site = FaultAction::Site::Hello;
+        } else if (site == "connect") {
+            fa.site = FaultAction::Site::Connect;
+        } else if (site.rfind("connect:", 0) == 0) {
+            fa.site = FaultAction::Site::Connect;
+            fa.index = parseIndex(site.substr(8), term);
         } else if (site.rfind("group:", 0) == 0) {
             fa.site = FaultAction::Site::Group;
             fa.index = parseIndex(site.substr(6), term);
@@ -212,6 +286,17 @@ FaultPlan::fire(FaultAction::Site site, int index)
         return &fa;
     }
     return nullptr;
+}
+
+FaultPlan
+FaultPlan::keep(bool networkKinds) const
+{
+    FaultPlan out;
+    for (const FaultAction &fa : actions) {
+        if (fa.isNetworkKind() == networkKinds)
+            out.actions.push_back(fa);
+    }
+    return out;
 }
 
 std::string
@@ -270,21 +355,72 @@ distributeEvaluate(const std::string &curve,
     if (cmd.empty())
         cmd = {selfExePath(), "dse-worker"};
 
+    const DseTransport transport = resolveDseTransport(opts.transport);
+
     const int livenessMs =
         opts.livenessTimeoutMs > 0
             ? opts.livenessTimeoutMs
             : envMsOr("FINESSE_DSE_LIVENESS_MS", kDefaultLivenessMs);
     const int handshakeMs = std::max(livenessMs, kHandshakeFloorMs);
+    const int connectMs =
+        opts.connectTimeoutMs > 0 ? opts.connectTimeoutMs : handshakeMs;
+
+    // Remote pool: explicit option, then the environment, else
+    // all-local. parseHostPort is fatal on typos -- a malformed host
+    // list must not silently shrink the pool.
+    std::vector<HostState> hosts;
+    {
+        std::vector<std::string> specs = opts.hosts;
+        if (specs.empty()) {
+            const char *env = std::getenv(kHostsEnv);
+            std::string text = env ? env : "";
+            size_t from = 0;
+            while (from <= text.size() && !text.empty()) {
+                size_t comma = text.find(',', from);
+                if (comma == std::string::npos)
+                    comma = text.size();
+                specs.push_back(text.substr(from, comma - from));
+                from = comma + 1;
+            }
+        }
+        for (const std::string &spec : specs) {
+            if (spec.empty())
+                continue;
+            HostState h;
+            if (spec == "local")
+                h.local = true;
+            else
+                h.addr = parseHostPort(spec);
+            hosts.push_back(std::move(h));
+        }
+    }
 
     const int n =
         static_cast<int>(std::min<size_t>(static_cast<size_t>(workers),
                                           groups.size()));
     int respawnBudget = opts.maxRespawns >= 0 ? opts.maxRespawns : 2 * n;
 
+    std::atomic<int> netFaultsFired{0};
+
+    // Network fault plans: an explicit per-slot network plan is
+    // proxy-side BY DEFINITION -- every action in it runs on the
+    // wire, including `garbage` (which doubles as a worker kind when
+    // it appears in a worker plan). The shared ambient
+    // FINESSE_DSE_FAULT splits by KIND instead: workers run their
+    // half, the proxy lifts out only the network-kind terms -- and
+    // only when no explicit worker plans pin the slots (a test that
+    // pins its workers expects no ambient interference at all).
+    const bool explicitWorkerPlans = !opts.workerFaultPlans.empty() ||
+                                     opts.killAllWorkers ||
+                                     opts.killWorkerIndex >= 0;
+    const char *ambientSpec = std::getenv(kFaultPlanEnv);
+
     std::vector<WorkerSlot> pool(static_cast<size_t>(n));
     for (int w = 0; w < n; ++w) {
         WorkerSlot &ws = pool[static_cast<size_t>(w)];
         ws.env = opts.workerEnv;
+        if (!hosts.empty())
+            ws.hostIdx = w % static_cast<int>(hosts.size());
         std::string plan;
         bool explicitPlan = false;
         if (!opts.workerFaultPlans.empty()) {
@@ -302,20 +438,121 @@ distributeEvaluate(const std::string &curve,
         // exactly which slots fault no matter what CI injects.
         if (explicitPlan)
             ws.env.push_back(std::string(kFaultPlanEnv) + "=" + plan);
+
+        FaultPlan net;
+        if (!opts.networkFaultPlans.empty())
+            net = FaultPlan::parse(
+                opts.networkFaultPlans[static_cast<size_t>(w) %
+                                       opts.networkFaultPlans.size()]);
+        else if (!explicitWorkerPlans && ambientSpec)
+            net = FaultPlan::parse(ambientSpec).keep(true);
+        for (const FaultAction &fa : net.actions) {
+            if (fa.site == FaultAction::Site::Connect)
+                ws.connectPlan.actions.push_back(fa);
+            else
+                ws.framePlan.actions.push_back(fa);
+        }
     }
 
-    const auto spawnSlot = [&](WorkerSlot &ws) {
-        ws.proc = Subprocess(); // drop any reaped predecessor's fds
+    const auto quarantineHost = [&](HostState &h,
+                                    Clock::time_point now) {
+        ++h.failures;
+        const int shift = std::min(h.failures - 1, 20);
+        const i64 backoff =
+            std::min<i64>(opts.retryBackoffCapMs,
+                          static_cast<i64>(opts.retryBackoffMs)
+                              << shift);
+        h.eligibleAt = now + milliseconds(backoff);
+        ++stats.hostQuarantines;
+    };
+
+    enum class Spawn {
+        Ok,       ///< slot is up (remote or local)
+        Failed,   ///< attempt made and lost (consumes respawn budget)
+        Deferred, ///< host quarantined, no local refill: retry later
+    };
+
+    const auto trySpawnSlot = [&](WorkerSlot &ws,
+                                  Clock::time_point now) -> Spawn {
+        // Scripted connect refusal (chaos): the failure itself is the
+        // point -- exercise the master's retry/degrade reaction
+        // without needing an actually-unreachable host.
+        if (ws.connectPlan.fire(FaultAction::Site::Connect,
+                                ws.connectAttempts)) {
+            ++ws.connectAttempts;
+            ++stats.networkFaultsInjected;
+            return Spawn::Failed;
+        }
+        ++ws.connectAttempts;
+
+        std::unique_ptr<Connection> conn;
+        HostState *host =
+            ws.hostIdx >= 0 ? &hosts[static_cast<size_t>(ws.hostIdx)]
+                            : nullptr;
+        bool degraded = false;
+        if (host && !host->local) {
+            if (msUntil(host->eligibleAt, now) > 0) {
+                if (!opts.remoteDegradeToLocal)
+                    return Spawn::Deferred;
+                degraded = true; // quarantined: refill locally for now
+            } else {
+                std::string err;
+                conn = connectTcpWorker(host->addr, connectMs, &err);
+                if (conn) {
+                    ++stats.remoteConnects;
+                    host->failures = 0;
+                } else {
+                    ++stats.remoteConnectFailures;
+                    std::fprintf(stderr, "distributed sweep: %s\n",
+                                 err.c_str());
+                    quarantineHost(*host, now);
+                    if (!opts.remoteDegradeToLocal)
+                        return Spawn::Failed;
+                    degraded = true;
+                }
+            }
+        }
+        if (!conn) {
+            if (degraded)
+                ++stats.remoteDegraded;
+            if (transport == DseTransport::LoopbackTcp) {
+                std::string err;
+                conn = spawnLoopbackTcpConnection(cmd, ws.env,
+                                                  connectMs, &err);
+                if (!conn) {
+                    std::fprintf(stderr,
+                                 "distributed sweep: loopback worker: "
+                                 "%s\n",
+                                 err.c_str());
+                    return Spawn::Failed;
+                }
+            } else {
+                conn = spawnSubprocessConnection(cmd, ws.env);
+            }
+        }
+
+        // Stream-level chaos: wrap ANY transport in the fault proxy
+        // when frame-site actions are scripted. The slot's template
+        // is COPIED per connection, so a respawned slot replays its
+        // stream faults afresh (exactly like worker-side plans) --
+        // bounded by the respawn budget, then fallbackLocal.
+        if (!ws.framePlan.empty())
+            conn = wrapWithChaosProxy(std::move(conn), ws.framePlan,
+                                      &netFaultsFired);
+
+        ws.conn = std::move(conn);
         ws.frames = wire::FrameBuffer();
-        ws.proc.spawn(cmd, ws.env);
+        ws.frames.maxPayload(kPreHelloPayloadCap);
         ws.state = WorkerSlot::State::Handshake;
         ws.group = -1;
         ws.lastProgress = Clock::now();
         ws.lastPingAt = ws.lastProgress;
         ++stats.workersSpawned;
+        return Spawn::Ok;
     };
+
     for (WorkerSlot &ws : pool)
-        spawnSlot(ws);
+        trySpawnSlot(ws, Clock::now()); // failures retry in the loop
 
     std::deque<size_t> pending;
     for (size_t g = 0; g < groups.size(); ++g)
@@ -369,13 +606,13 @@ distributeEvaluate(const std::string &curve,
         pending.push_front(g);
     };
 
-    // Declared dead: SIGKILL (idempotent for an already-exited child)
-    // and reap IMMEDIATELY -- a long sweep must not accumulate
-    // zombies -- recording how the worker went (signal vs. exit).
+    // Declared dead: terminate (SIGKILL + immediate reap for a local
+    // child -- a long sweep must not accumulate zombies; socket close
+    // for a remote) and re-queue any in-flight group.
     const auto declareDead = [&](WorkerSlot &ws, bool timedOut) {
-        ws.proc.kill(SIGKILL);
-        const int status = ws.proc.wait();
-        if (Subprocess::wasSignaled(status))
+        const bool signaled = ws.conn && ws.conn->terminate();
+        ws.conn.reset();
+        if (signaled)
             ++stats.workersSignaled;
         else
             ++stats.workersExited;
@@ -403,7 +640,7 @@ distributeEvaluate(const std::string &curve,
         for (size_t idx : groups[g].indices)
             msg.requests.push_back(points[idx]);
         const std::vector<u8> frame = encodeGroupRequest(msg);
-        if (!ws.proc.writeAll(frame.data(), frame.size()))
+        if (!ws.conn->writeAll(frame.data(), frame.size()))
             return false; // caller declares the worker dead
         ws.state = WorkerSlot::State::Busy;
         ws.group = static_cast<long>(g);
@@ -458,7 +695,7 @@ distributeEvaluate(const std::string &curve,
                 wire::Ping ping;
                 ping.seq = ++pingSeq;
                 const std::vector<u8> probe = wire::encodePing(ping);
-                if (!ws.proc.writeAll(probe.data(), probe.size())) {
+                if (!ws.conn->writeAll(probe.data(), probe.size())) {
                     declareDead(ws, false);
                     continue;
                 }
@@ -468,24 +705,34 @@ distributeEvaluate(const std::string &curve,
         }
 
         // (2) Elastic respawn: keep the pool at full width while the
-        // budget lasts and work remains.
+        // budget lasts and work remains. A slot whose host is
+        // quarantined (and no local refill allowed) defers without
+        // consuming budget -- the quarantine timer retries it.
+        bool spawnDeferred = false;
         for (WorkerSlot &ws : pool) {
             if (completed >= groups.size() || respawnBudget <= 0)
                 break;
             if (ws.state != WorkerSlot::State::Dead)
                 continue;
+            const Spawn got = trySpawnSlot(ws, now);
+            if (got == Spawn::Deferred) {
+                spawnDeferred = true;
+                continue;
+            }
             --respawnBudget;
-            spawnSlot(ws);
-            ++stats.respawns;
+            if (got == Spawn::Ok)
+                ++stats.respawns;
         }
 
         // (3) Pool empty for good: finish the sweep in-process (or
-        // fail, preserving the pre-fallback contract).
+        // fail, preserving the pre-fallback contract). Deferred
+        // spawns keep the sweep alive -- a quarantined host may yet
+        // come back before the budget runs out.
         const bool anyAlive = std::any_of(
             pool.begin(), pool.end(), [](const WorkerSlot &ws) {
                 return ws.state != WorkerSlot::State::Dead;
             });
-        if (!anyAlive) {
+        if (!anyAlive && !spawnDeferred) {
             if (!opts.fallbackLocal)
                 fatal("distributed sweep: all ", n, " workers died (",
                       groups.size() - completed, " groups unfinished)");
@@ -550,12 +797,20 @@ distributeEvaluate(const std::string &curve,
             break;
 
         // (5) Finite poll timeout from the next deadline: liveness
-        // windows, ping due times, retry-backoff gates and hedge
-        // eligibility all wake the loop exactly when they mature.
+        // windows, ping due times, retry-backoff gates, hedge
+        // eligibility and host-quarantine expiries all wake the loop
+        // exactly when they mature.
         i64 timeoutMs = 1000;
         for (const WorkerSlot &ws : pool) {
             switch (ws.state) {
               case WorkerSlot::State::Dead:
+                if (ws.hostIdx >= 0 &&
+                    !hosts[static_cast<size_t>(ws.hostIdx)].local)
+                    timeoutMs = std::min(
+                        timeoutMs,
+                        msUntil(hosts[static_cast<size_t>(ws.hostIdx)]
+                                    .eligibleAt,
+                                now));
                 break;
               case WorkerSlot::State::Handshake:
                 timeoutMs = std::min(
@@ -604,11 +859,16 @@ distributeEvaluate(const std::string &curve,
         for (size_t w = 0; w < pool.size(); ++w) {
             if (pool[w].state == WorkerSlot::State::Dead)
                 continue;
-            fds.push_back({pool[w].proc.stdoutFd(), POLLIN, 0});
+            fds.push_back({pool[w].conn->pollFd(), POLLIN, 0});
             fdWorker.push_back(w);
         }
-        if (fds.empty())
-            continue; // respawn/fallback handles it next iteration
+        if (fds.empty()) {
+            // Everything is dead but a deferred spawn is pending:
+            // sleep to the quarantine expiry instead of spinning.
+            std::this_thread::sleep_for(
+                milliseconds(std::max<i64>(timeoutMs, 1)));
+            continue;
+        }
 
         int rc;
         do {
@@ -632,7 +892,10 @@ distributeEvaluate(const std::string &curve,
             WorkerSlot &ws = pool[fdWorker[f]];
             if (ws.state == WorkerSlot::State::Dead)
                 continue; // killed earlier in this drain pass
-            const long r = ws.proc.readSome(chunk.data(), chunk.size());
+            const long r =
+                ws.conn->readSome(chunk.data(), chunk.size());
+            if (r == kReadAgainFd)
+                continue; // spurious wakeup: alive, just no data yet
             if (r <= 0) {
                 declareDead(ws, false);
                 continue;
@@ -659,10 +922,13 @@ distributeEvaluate(const std::string &curve,
                             wire::decodeHello(frame.payload);
                         const std::string reason =
                             helloRejectReason(hello);
-                        if (!reason.empty())
+                        if (!reason.empty()) {
                             helloReject = reason;
-                        else
+                        } else {
                             ws.state = WorkerSlot::State::Idle;
+                            // Admitted: results may be real payloads.
+                            ws.frames.maxPayload(wire::kMaxPayload);
+                        }
                         break;
                       }
                       case wire::FrameType::Pong:
@@ -723,8 +989,9 @@ distributeEvaluate(const std::string &curve,
                 fatal("dse worker failed: ", *workerError);
             if (helloReject) {
                 std::fprintf(stderr,
-                             "distributed sweep: rejecting worker: "
-                             "%s\n",
+                             "distributed sweep: rejecting worker "
+                             "(%s): %s\n",
+                             ws.conn->describe().c_str(),
                              helloReject->c_str());
                 declareDead(ws, false);
                 continue;
@@ -735,27 +1002,31 @@ distributeEvaluate(const std::string &curve,
     }
 
     for (WorkerSlot &ws : pool) {
+        if (!ws.conn) {
+            ws.state = WorkerSlot::State::Dead;
+            continue;
+        }
         switch (ws.state) {
           case WorkerSlot::State::Dead:
             break;
           case WorkerSlot::State::Busy:
           case WorkerSlot::State::Handshake:
             // A hedge loser still chewing on an already-completed
-            // group (its result would back up a pipe the master will
-            // never drain), or a worker that never finished its
+            // group (its result would back up a stream the master
+            // will never drain), or a worker that never finished its
             // handshake (possibly hung before Hello): a graceful EOF
-            // wait could deadlock on either. Kill and reap.
-            ws.proc.kill(SIGKILL);
-            ws.proc.wait();
-            ws.state = WorkerSlot::State::Dead;
+            // wait could deadlock on either. Terminate.
+            ws.conn->terminate();
             break;
           case WorkerSlot::State::Idle:
-            ws.proc.closeStdin(); // EOF -> worker exits its read loop
-            ws.proc.wait();
-            ws.state = WorkerSlot::State::Dead;
+            ws.conn->finish(); // EOF -> worker exits its read loop
             break;
         }
+        ws.conn.reset();
+        ws.state = WorkerSlot::State::Dead;
     }
+    stats.networkFaultsInjected +=
+        netFaultsFired.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -863,6 +1134,11 @@ runWorkerFault(const FaultAction &fa, WorkerOutput &out)
       case FaultAction::Kind::BadHelloVersion:
       case FaultAction::Kind::BadHelloHash:
         break; // hello-site only; meaningless elsewhere
+      case FaultAction::Kind::Drop:
+      case FaultAction::Kind::Truncate:
+      case FaultAction::Kind::Delay:
+      case FaultAction::Kind::Refuse:
+        break; // network kinds: the master-side proxy runs these
     }
 }
 
@@ -875,7 +1151,10 @@ runDseWorker(int inFd, int outFd)
     // (-> clean worker exit), not as a fatal SIGPIPE.
     ignoreSigpipe();
     const char *faultSpec = std::getenv(kFaultPlanEnv);
-    FaultPlan plan = FaultPlan::parse(faultSpec ? faultSpec : "");
+    // keep(false): network-kind terms in a shared spec belong to the
+    // master-side chaos proxy, not to us.
+    FaultPlan plan =
+        FaultPlan::parse(faultSpec ? faultSpec : "").keep(false);
     WorkerOutput out(outFd);
 
     // Handshake: always the first frame on the stream.
@@ -902,12 +1181,16 @@ runDseWorker(int inFd, int outFd)
     int groupsSeen = 0;
     try {
         for (;;) {
-            long r;
-            do {
-                r = ::read(inFd, chunk.data(), chunk.size());
-            } while (r < 0 && errno == EINTR);
+            const long r = readSomeFd(inFd, chunk.data(), chunk.size());
             if (r == 0)
-                return 0; // clean shutdown: master closed our stdin
+                return 0; // clean shutdown: master closed our stream
+            if (r == kReadAgainFd) {
+                // Nonblocking fd with nothing buffered: wait for
+                // data instead of treating the lull as an error.
+                pollfd pfd = {inFd, POLLIN, 0};
+                (void)::poll(&pfd, 1, -1);
+                continue;
+            }
             if (r < 0)
                 fatal("dse worker: read: ", std::strerror(errno));
             frames.append(chunk.data(), static_cast<size_t>(r));
@@ -978,12 +1261,106 @@ runDseWorker(int inFd, int outFd)
     }
 }
 
+int
+runDseWorkerListen(const std::string &listenSpec, int maxAccepts)
+{
+    ignoreSigpipe();
+    const HostPort at = parseHostPort(listenSpec);
+    std::string err;
+    int boundPort = 0;
+    // Backlog > 1: a second master can queue while one is served; it
+    // waits for this worker's Hello until its handshake window runs
+    // out, then quarantines us -- better than a refused connect.
+    const int listenFd = tcpListen(at, 4, &err, &boundPort);
+    if (listenFd < 0) {
+        std::fprintf(stderr, "dse-worker: %s\n", err.c_str());
+        return 1;
+    }
+    HostPort bound = at;
+    bound.port = boundPort;
+    // The banner is the port-discovery contract: with --listen=H:0
+    // the caller learns the ephemeral port from stdout.
+    std::printf("dse-worker listening on %s\n",
+                bound.describe().c_str());
+    std::fflush(stdout);
+
+    for (int served = 0; maxAccepts < 0 || served < maxAccepts;
+         ++served) {
+        const int fd = tcpAccept(listenFd, -1, &err);
+        if (fd < 0) {
+            std::fprintf(stderr, "dse-worker: accept: %s\n",
+                         err.c_str());
+            ::close(listenFd);
+            return 1;
+        }
+        // Serve this master to completion. Its disconnect -- clean
+        // EOF or abandonment -- ends runDseWorker (a failed session
+        // is not fatal to the server) and we RE-LISTEN for the next
+        // master with a fresh fault-plan parse.
+        runDseWorker(fd, fd);
+        ::close(fd);
+    }
+    ::close(listenFd);
+    return 0;
+}
+
+int
+runDseWorkerConnect(const std::string &connectSpec)
+{
+    ignoreSigpipe();
+    std::string err;
+    const int fd =
+        tcpConnect(parseHostPort(connectSpec), kDefaultLivenessMs,
+                   &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "dse-worker: %s\n", err.c_str());
+        return 1;
+    }
+    const int rc = runDseWorker(fd, fd);
+    ::close(fd);
+    return rc;
+}
+
 std::optional<int>
 maybeRunDseWorkerMain(int argc, char **argv)
 {
-    if (argc >= 2 && std::strcmp(argv[1], "dse-worker") == 0)
-        return runDseWorker();
-    return std::nullopt;
+    if (argc < 2 || std::strcmp(argv[1], "dse-worker") != 0)
+        return std::nullopt;
+    std::string listen, connect;
+    int maxAccepts = -1;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--listen=", 0) == 0) {
+            listen = arg.substr(9);
+        } else if (arg.rfind("--connect=", 0) == 0) {
+            connect = arg.substr(10);
+        } else if (arg.rfind("--max-accepts=", 0) == 0) {
+            char *end = nullptr;
+            const long v = std::strtol(arg.c_str() + 14, &end, 10);
+            if (*end != '\0' || v < 1) {
+                std::fprintf(stderr,
+                             "dse-worker: bad --max-accepts '%s'\n",
+                             arg.c_str() + 14);
+                return 2;
+            }
+            maxAccepts = static_cast<int>(v);
+        } else {
+            std::fprintf(stderr, "dse-worker: unknown flag '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (!listen.empty() && !connect.empty()) {
+        std::fprintf(
+            stderr,
+            "dse-worker: --listen and --connect are exclusive\n");
+        return 2;
+    }
+    if (!listen.empty())
+        return runDseWorkerListen(listen, maxAccepts);
+    if (!connect.empty())
+        return runDseWorkerConnect(connect);
+    return runDseWorker();
 }
 
 } // namespace finesse

@@ -68,9 +68,37 @@ struct DistributorStats
     int pingsSent = 0;          ///< liveness probes sent
     int pongsReceived = 0;      ///< probe replies + heartbeats
 
+    int remoteConnects = 0;        ///< TCP worker connects that succeeded
+    int remoteConnectFailures = 0; ///< refused/timed-out/unreachable
+    int hostQuarantines = 0;       ///< hosts benched after a failure
+    int remoteDegraded = 0;        ///< remote slots refilled locally
+    int networkFaultsInjected = 0; ///< chaos-proxy faults that fired
+
     /** One-line human-readable rendering (finesse_cli dse). */
     std::string describe() const;
 };
+
+/**
+ * How master and workers exchange frames. The fault-tolerance layer
+ * is transport-agnostic (frames over fds); this only picks which fds.
+ */
+enum class DseTransport {
+    Default,     ///< FINESSE_DSE_TRANSPORT env, falling back to Pipe
+    Pipe,        ///< fork/exec children over stdin/stdout pipes
+    LoopbackTcp, ///< fork/exec children over a 127.0.0.1 TCP socket
+};
+
+/** Resolve Default against FINESSE_DSE_TRANSPORT ("pipe" /
+ *  "loopback-tcp"; unset = Pipe, anything else is fatal -- a typo'd
+ *  transport must not silently fall back). */
+DseTransport resolveDseTransport(DseTransport requested);
+
+/** Env var naming the default transport (see resolveDseTransport). */
+constexpr const char *kTransportEnv = "FINESSE_DSE_TRANSPORT";
+
+/** Env var holding the default remote host pool: comma-separated
+ *  host:port entries; the token "local" pins a local slot. */
+constexpr const char *kHostsEnv = "FINESSE_DSE_HOSTS";
 
 /** Knobs of the distributed sweep (defaults are production behavior). */
 struct DistributorOptions
@@ -134,6 +162,29 @@ struct DistributorOptions
     /** Extra "KEY=VALUE" environment entries for every worker. */
     std::vector<std::string> workerEnv;
 
+    /** Transport for locally spawned workers (Default = env / pipe). */
+    DseTransport transport = DseTransport::Default;
+
+    /**
+     * Remote worker pool: "host:port" entries naming running
+     * `dse-worker --listen` peers, or the token "local" pinning a
+     * local slot (mixed pools). Empty = FINESSE_DSE_HOSTS env; both
+     * empty = all-local pool. Slot w uses hosts[w % size]. A failed
+     * connect quarantines its host (capped exponential backoff before
+     * the next attempt) and -- with remoteDegradeToLocal -- refills
+     * the slot with a local worker, so losing every remote degrades
+     * to the all-local path instead of failing the sweep.
+     */
+    std::vector<std::string> hosts;
+
+    /** Hard deadline per remote connect / loopback accept; 0 = the
+     *  handshake window (max(liveness, 5000ms)). */
+    int connectTimeoutMs = 0;
+
+    /** Refill a quarantined remote slot with a local worker. False =
+     *  the slot stays empty until its host leaves quarantine. */
+    bool remoteDegradeToLocal = true;
+
     /**
      * Chaos injection (tests): per-slot FINESSE_DSE_FAULT plans,
      * assigned round-robin (slot w gets plans[w % size]). When
@@ -143,6 +194,20 @@ struct DistributorOptions
      * reuses its slot's plan.
      */
     std::vector<std::string> workerFaultPlans;
+
+    /**
+     * Network chaos (tests): per-slot fault plans executed by a
+     * MASTER-SIDE proxy thread interposed on the slot's connection
+     * (any transport), round-robin like workerFaultPlans. Network
+     * actions -- drop | trunc | delay_ms=<N> | garbage at frame:<N>
+     * sites (worker->master frame ordinal), refuse at the connect
+     * site -- corrupt the stream between healthy endpoints, the
+     * failure mode worker-side plans cannot express. When empty, any
+     * network-kind actions in the ambient FINESSE_DSE_FAULT are
+     * lifted out and applied here (worker-kind actions still go to
+     * the workers), so one env var scripts both sides.
+     */
+    std::vector<std::string> networkFaultPlans;
 
     // Legacy fault-injection hooks (sugar for workerFaultPlans with
     // "kill@group:0"): the selected workers SIGKILL themselves on
@@ -166,17 +231,32 @@ struct FaultAction
         Stall,           ///< sleep stallMs WITH heartbeats (straggler)
         BadHelloVersion, ///< announce a wrong protocol version
         BadHelloHash,    ///< announce a wrong catalog hash
+        // Network kinds, executed by the master-side chaos proxy
+        // (workers skip them: they script the wire, not the peer).
+        Drop,     ///< close the connection mid-frame (reset)
+        Truncate, ///< swallow a frame's tail, keep the stream open
+        Delay,    ///< stall a frame stallMs in transit (slow network)
+        Refuse,   ///< fail the connect/spawn outright
     };
     enum class Site {
-        Group, ///< on receipt of the index-th GroupRequest
-        Frame, ///< on receipt of the index-th frame of any type
-        Hello, ///< before the handshake is sent
+        Group,   ///< on receipt of the index-th GroupRequest
+        Frame,   ///< on receipt of the index-th frame of any type
+        Hello,   ///< before the handshake is sent
+        Connect, ///< at connection establishment (network kinds)
     };
     Kind kind = Kind::Kill;
     Site site = Site::Group;
     int index = 0;   ///< 0-based trigger ordinal at the site
-    int stallMs = 0; ///< Stall only
+    int stallMs = 0; ///< Stall/Delay only
     bool fired = false;
+
+    /** Kinds the chaos proxy executes (workers ignore them). */
+    bool
+    isNetworkKind() const
+    {
+        return kind == Kind::Drop || kind == Kind::Truncate ||
+               kind == Kind::Delay || kind == Kind::Refuse;
+    }
 };
 
 /**
@@ -187,9 +267,12 @@ struct FaultAction
  *                        stall_ms=500@group:0;bad_hash@hello"
  *
  * where action is kill | hang | garbage | stall_ms=<N> | bad_version
- * | bad_hash and site is group:<N> | frame:<N> | hello. Unparseable
- * specs are fatal (a chaos test with a typo must fail loudly, not
- * silently run fault-free).
+ * | bad_hash | drop | trunc | delay_ms=<N> | refuse and site is
+ * group:<N> | frame:<N> | hello | connect. Unparseable specs are
+ * fatal (a chaos test with a typo must fail loudly, not silently run
+ * fault-free). Worker kinds are executed by the worker that parsed
+ * the plan; network kinds by the master-side chaos proxy -- each side
+ * keep()s its half, so one spec can script both.
  */
 struct FaultPlan
 {
@@ -199,6 +282,9 @@ struct FaultPlan
 
     /** First unfired action at @p site/@p index (marks it fired). */
     FaultAction *fire(FaultAction::Site site, int index);
+
+    /** Plan reduced to network-kind (true) or worker-kind actions. */
+    FaultPlan keep(bool networkKinds) const;
 
     bool empty() const { return actions.empty(); }
 };
@@ -235,11 +321,31 @@ distributeEvaluate(const std::string &curve,
 int runDseWorker(int inFd = 0, int outFd = 1);
 
 /**
+ * Network worker: bind @p listenSpec ("host:port"; port 0 =
+ * ephemeral), print a `dse-worker listening on host:port` banner on
+ * stdout (how tests and scripts discover an ephemeral port), then
+ * serve masters one at a time -- accept, run runDseWorker over the
+ * socket, and RE-LISTEN when the master disconnects. Serves
+ * @p maxAccepts masters before returning (-1 = forever; CI smoke and
+ * the unit tests use a finite count for a clean exit).
+ */
+int runDseWorkerListen(const std::string &listenSpec,
+                       int maxAccepts = -1);
+
+/**
+ * Loopback-transport worker: connect back to the master's ephemeral
+ * listener at @p connectSpec and run the worker loop over the socket.
+ */
+int runDseWorkerConnect(const std::string &connectSpec);
+
+/**
  * Re-exec shim for binaries that act as their own worker pool: call
  * first thing in main(); when argv[1] == "dse-worker" this runs the
- * worker loop and returns its exit code to pass to return/exit,
- * std::nullopt otherwise. finesse_cli, the distributed tests and the
- * fig10 bench all dispatch through this, so the default
+ * worker loop -- over stdin/stdout by default, over a socket with
+ * `--listen=host:port` (plus optional `--max-accepts=N`) or
+ * `--connect=host:port` -- and returns its exit code to pass to
+ * return/exit, std::nullopt otherwise. finesse_cli, the distributed
+ * tests and the fig10 bench all dispatch through this, so the default
  * DistributorOptions::workerCommand (self re-exec) always works.
  */
 std::optional<int> maybeRunDseWorkerMain(int argc, char **argv);

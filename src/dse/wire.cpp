@@ -273,8 +273,9 @@ FrameBuffer::next(Frame &out)
         type > static_cast<u8>(FrameType::Pong))
         fatal("wire: unknown frame type ", static_cast<int>(type));
     const u32 length = header.u32v();
-    if (length > kMaxPayload)
-        fatal("wire: oversized frame payload ", length);
+    if (length > maxPayload_)
+        fatal("wire: oversized frame payload ", length, " (cap ",
+              maxPayload_, ")");
     if (buf_.size() - pos_ < kHeaderBytes + length)
         return false;
     out.type = static_cast<FrameType>(type);

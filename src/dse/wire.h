@@ -23,6 +23,7 @@
 #ifndef FINESSE_DSE_WIRE_H_
 #define FINESSE_DSE_WIRE_H_
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -280,7 +281,10 @@ struct Frame
  * Incremental frame assembler for a byte stream: append() raw pipe
  * reads, next() pops complete frames. A malformed header (bad magic,
  * unknown type, oversized length) throws FatalError -- the stream is
- * poisoned and the peer must be dropped.
+ * poisoned and the peer must be dropped. The oversized-length check
+ * happens at HEADER-decode time, before any payload is buffered or
+ * allocated: a garbage length prefix from a remote peer poisons the
+ * stream instead of driving a multi-gigabyte allocation.
  */
 class FrameBuffer
 {
@@ -293,12 +297,25 @@ class FrameBuffer
 
     bool next(Frame &out);
 
+    /**
+     * Tighten the per-frame payload cap below kMaxPayload (never
+     * above). The distributor caps an unauthenticated peer at a few
+     * KB until its Hello is admitted -- version/hash frames are tiny,
+     * so anything larger pre-handshake is garbage by definition.
+     */
+    void
+    maxPayload(size_t cap)
+    {
+        maxPayload_ = std::min(cap, kMaxPayload);
+    }
+
     /** Bytes of a not-yet-complete trailing frame (EOF diagnostics). */
     size_t pendingBytes() const { return buf_.size() - pos_; }
 
   private:
     std::vector<u8> buf_;
     size_t pos_ = 0;
+    size_t maxPayload_ = kMaxPayload;
 };
 
 /** Serialize a complete frame (header + payload). */

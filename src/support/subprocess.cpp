@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -37,12 +38,35 @@ writeAllFd(int fd, const void *data, size_t n)
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Full pipe/socket buffer, not an error: wait for
+                // writability and go around. EINTR here just retries
+                // the poll.
+                pollfd pfd = {fd, POLLOUT, 0};
+                (void)::poll(&pfd, 1, -1);
+                continue;
+            }
             return false;
         }
         p += w;
         n -= static_cast<size_t>(w);
     }
     return true;
+}
+
+long
+readSomeFd(int fd, void *buf, size_t n)
+{
+    for (;;) {
+        const long r = ::read(fd, buf, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return kReadAgainFd;
+        }
+        return r;
+    }
 }
 
 Subprocess &
@@ -176,12 +200,7 @@ Subprocess::writeAll(const void *data, size_t n)
 long
 Subprocess::readSome(void *buf, size_t n)
 {
-    for (;;) {
-        const long r = ::read(stdoutFd_, buf, n);
-        if (r < 0 && errno == EINTR)
-            continue;
-        return r;
-    }
+    return readSomeFd(stdoutFd_, buf, n);
 }
 
 void

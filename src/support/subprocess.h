@@ -96,12 +96,27 @@ class Subprocess
 };
 
 /**
- * Write the whole buffer to @p fd, retrying on EINTR; false on any
- * error (EPIPE included). The one write loop shared by
- * Subprocess::writeAll (master -> worker pipes) and the worker's
- * result stream (raw stdout fd).
+ * Write the whole buffer to @p fd, retrying on EINTR and waiting out
+ * EAGAIN/EWOULDBLOCK via poll(POLLOUT); false on any real error
+ * (EPIPE included). The one write loop shared by
+ * Subprocess::writeAll (master -> worker pipes), the worker's result
+ * stream, and the socket transport.
  */
 bool writeAllFd(int fd, const void *data, size_t n);
+
+/**
+ * readSomeFd returns this when the read would block (EAGAIN on a
+ * nonblocking fd): the fd is alive, there is just no data yet.
+ * Callers must poll again -- treating it as death loses a healthy
+ * worker.
+ */
+inline constexpr long kReadAgainFd = -2;
+
+/**
+ * One read from @p fd: byte count, 0 on EOF, kReadAgainFd when the
+ * read would block, -1 on a real error. EINTR is retried internally.
+ */
+long readSomeFd(int fd, void *buf, size_t n);
 
 /**
  * Ignore SIGPIPE process-wide (idempotent): a peer that died mid-frame

@@ -19,6 +19,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,52 @@ TEST(ChaosDse, FaultPlanParsesTheFullGrammar)
     EXPECT_TRUE(FaultPlan::parse(";;").empty());
 }
 
+TEST(ChaosDse, FaultPlanParsesTheNetworkGrammar)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "drop@frame:2;trunc@frame:1;delay_ms=250@frame:0;"
+        "refuse@connect;refuse@connect:3");
+    ASSERT_EQ(plan.actions.size(), 5u);
+
+    EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::Drop);
+    EXPECT_EQ(plan.actions[0].site, FaultAction::Site::Frame);
+    EXPECT_EQ(plan.actions[0].index, 2);
+
+    EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::Truncate);
+
+    EXPECT_EQ(plan.actions[2].kind, FaultAction::Kind::Delay);
+    EXPECT_EQ(plan.actions[2].stallMs, 250);
+
+    EXPECT_EQ(plan.actions[3].kind, FaultAction::Kind::Refuse);
+    EXPECT_EQ(plan.actions[3].site, FaultAction::Site::Connect);
+    EXPECT_EQ(plan.actions[3].index, 0); // bare connect = attempt 0
+    EXPECT_EQ(plan.actions[4].index, 3);
+
+    for (const FaultAction &fa : plan.actions)
+        EXPECT_TRUE(fa.isNetworkKind());
+    EXPECT_FALSE(FaultPlan::parse("kill@group:0")
+                     .actions[0]
+                     .isNetworkKind());
+}
+
+TEST(ChaosDse, FaultPlanKeepSplitsWorkerAndNetworkKinds)
+{
+    // One spec scripting both sides: keep(false) is the worker's half,
+    // keep(true) the chaos proxy's -- together they partition the plan.
+    const FaultPlan plan = FaultPlan::parse(
+        "kill@group:1;drop@frame:2;stall_ms=10@group:0;refuse@connect");
+    const FaultPlan worker = plan.keep(false);
+    const FaultPlan network = plan.keep(true);
+    ASSERT_EQ(worker.actions.size(), 2u);
+    EXPECT_EQ(worker.actions[0].kind, FaultAction::Kind::Kill);
+    EXPECT_EQ(worker.actions[1].kind, FaultAction::Kind::Stall);
+    ASSERT_EQ(network.actions.size(), 2u);
+    EXPECT_EQ(network.actions[0].kind, FaultAction::Kind::Drop);
+    EXPECT_EQ(network.actions[1].kind, FaultAction::Kind::Refuse);
+    EXPECT_EQ(worker.actions.size() + network.actions.size(),
+              plan.actions.size());
+}
+
 TEST(ChaosDse, FaultPlanRejectsJunk)
 {
     EXPECT_THROW(FaultPlan::parse("kill"), FatalError);
@@ -135,6 +182,8 @@ TEST(ChaosDse, FaultPlanRejectsJunk)
     EXPECT_THROW(FaultPlan::parse("kill@group:-1"), FatalError);
     EXPECT_THROW(FaultPlan::parse("stall_ms=@group:0"), FatalError);
     EXPECT_THROW(FaultPlan::parse("kill@nowhere:3"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("delay_ms=@frame:0"), FatalError);
+    EXPECT_THROW(FaultPlan::parse("refuse@connect:x"), FatalError);
 }
 
 TEST(ChaosDse, FaultActionsFireOnce)
@@ -347,6 +396,197 @@ TEST(ChaosDse, GarbageStreamPoisonsTheWorkerNotTheSweep)
     expectSamePoints(ref, got);
     EXPECT_GE(stats.workerDeaths, 1);
     EXPECT_GE(stats.redispatches, 1);
+}
+
+// ------------------------------------------------- network faults
+
+TEST(ChaosDse, DelayedFramesAreHarmless)
+{
+    // delay_ms on the Hello frame: the handshake arrives late but
+    // inside its window. Pure-latency faults must cost nothing --
+    // no deaths, no retries, identical bits -- and the injection
+    // counter proves the proxy actually held the frame.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"", ""}; // pin slots fault-free
+    opts.networkFaultPlans = {"delay_ms=200@frame:0", ""};
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.networkFaultsInjected, 1);
+    EXPECT_EQ(stats.workerDeaths, 0);
+    EXPECT_EQ(stats.redispatches, 0);
+}
+
+TEST(ChaosDse, DroppedConnectionMidFrameIsRedispatched)
+{
+    // drop@frame:1: the proxy forwards half a frame then closes --
+    // a connection reset mid-result. The master sees EOF inside a
+    // frame, declares the worker dead and re-dispatches; slot 1
+    // (fault-free) carries the sweep.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"", ""};
+    opts.networkFaultPlans = {"drop@frame:1", ""};
+    opts.maxRespawns = 0; // a respawn would replay the drop
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.networkFaultsInjected, 1);
+    EXPECT_GE(stats.workerDeaths, 1);
+    EXPECT_GE(stats.redispatches, 1);
+}
+
+TEST(ChaosDse, TruncatedFrameDesyncsAndPoisonsTheStream)
+{
+    // trunc@frame:1: half a frame arrives and the stream KEEPS
+    // flowing, so the next frame's bytes land where the tail should
+    // be -- a header desync the master must treat as poison, not
+    // crash on.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"", ""};
+    opts.networkFaultPlans = {"trunc@frame:1", ""};
+    opts.livenessTimeoutMs = 1500; // desync may read as silence
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.networkFaultsInjected, 1);
+    EXPECT_GE(stats.workerDeaths, 1);
+}
+
+TEST(ChaosDse, GarbageOnTheWireIsPoisonNotProtocol)
+{
+    // garbage as a NETWORK action: the proxy injects junk ahead of an
+    // intact frame -- wire corruption between two healthy endpoints,
+    // the case worker-side garbage cannot express.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"", ""};
+    opts.networkFaultPlans = {"garbage@frame:1", ""};
+    opts.maxRespawns = 0;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.workerDeaths, 1);
+}
+
+TEST(ChaosDse, RefusedConnectIsRetriedBySpawnMachinery)
+{
+    // refuse@connect fires once per SLOT (persistent across
+    // respawns, unlike frame faults): slot 0's first spawn is
+    // refused, its replacement connects fine. No work is lost --
+    // the refusal happens before any dispatch.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.workerFaultPlans = {"", ""};
+    opts.networkFaultPlans = {"refuse@connect", ""};
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.networkFaultsInjected, 1);
+    EXPECT_GE(stats.respawns, 1);
+    EXPECT_EQ(stats.workerDeaths, 0);
+    EXPECT_EQ(stats.redispatches, 0);
+}
+
+TEST(ChaosDse, AmbientPlanSplitsAcrossWorkerAndProxy)
+{
+    // One ambient FINESSE_DSE_FAULT scripting BOTH sides: the master
+    // lifts the network-kind term into its proxy, the worker executes
+    // only the worker-kind term. Both must demonstrably fire.
+    const char *prev = std::getenv(kFaultPlanEnv);
+    const std::string saved = prev ? prev : "";
+    ASSERT_EQ(setenv(kFaultPlanEnv,
+                     "delay_ms=150@frame:0;kill@group:1", 1),
+              0);
+
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+
+    if (prev)
+        ASSERT_EQ(setenv(kFaultPlanEnv, saved.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv(kFaultPlanEnv), 0);
+
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.networkFaultsInjected, 1); // proxy ran the delay
+    EXPECT_GE(stats.workerDeaths, 1);          // worker ran the kill
+}
+
+TEST(ChaosDse, NetworkFaultMatrixIsBitIdenticalOnBothTransports)
+{
+    // The tentpole's acceptance sweep: every network fault plan, on
+    // BOTH transports (the proxy interposes on pipes and sockets
+    // alike), must leave the results bit-identical to the in-process
+    // engine. Survivability comes from re-dispatch + respawn +
+    // fallbackLocal; determinism from the evaluation path.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = smallRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    const std::vector<std::string> plans = {
+        "drop@frame:1",
+        "trunc@frame:1",
+        "delay_ms=100@frame:0",
+        "garbage@frame:1",
+        "refuse@connect",
+        "drop@frame:0", // the Hello itself dies mid-frame
+    };
+    for (const DseTransport transport :
+         {DseTransport::Pipe, DseTransport::LoopbackTcp}) {
+        for (const std::string &plan : plans) {
+            SCOPED_TRACE(
+                (transport == DseTransport::Pipe ? "pipe "
+                                                 : "loopback-tcp ") +
+                plan);
+            DistributorStats stats;
+            DistributorOptions opts;
+            opts.stats = &stats;
+            opts.transport = transport;
+            opts.workerFaultPlans = {"", ""};
+            opts.networkFaultPlans = {plan};
+            opts.livenessTimeoutMs = 1500;
+            opts.maxGroupRetries = 2;
+            const std::vector<DsePoint> got =
+                ex.evaluateAllDistributed(reqs, 2, opts);
+            expectSamePoints(ref, got);
+            EXPECT_GE(stats.networkFaultsInjected, 1);
+        }
+    }
 }
 
 TEST(ChaosDse, BitIdenticalForWorkerMatrixUnderFaultMatrix)

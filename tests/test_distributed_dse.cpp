@@ -16,11 +16,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "curve/catalog.h"
 #include "dse/distributor.h"
 #include "dse/explorer.h"
+#include "support/socket.h"
+#include "support/subprocess.h"
 
 namespace finesse {
 namespace {
@@ -163,6 +166,158 @@ TEST(DistributedDse, MatchesEvaluateAllForWorkers124)
             EXPECT_LE(stats.workersSpawned, workers);
         }
     }
+}
+
+TEST(DistributedDse, LoopbackTcpTransportMatchesEvaluateAll)
+{
+    // The identity contract is transport-independent: the same sweep
+    // over loopback-TCP sockets (master listens on an ephemeral
+    // 127.0.0.1 port, each worker dials back with --connect) must
+    // produce the same bits as the pipe transport and the in-process
+    // engine, for every pool width.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = mixedRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    for (int workers : {1, 2, 4}) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        DistributorStats stats;
+        DistributorOptions opts;
+        opts.stats = &stats;
+        opts.transport = DseTransport::LoopbackTcp;
+        const std::vector<DsePoint> got =
+            ex.evaluateAllDistributed(reqs, workers, opts);
+        expectSamePoints(ref, got);
+        if (!ambientFaults()) {
+            EXPECT_EQ(stats.workerDeaths, 0);
+            EXPECT_EQ(stats.redispatches, 0);
+        }
+    }
+}
+
+/**
+ * Spawn `<self> dse-worker --listen=127.0.0.1:0` and return its
+ * address, parsed from the stdout banner (the ephemeral-port
+ * discovery contract). @p maxAccepts bounds the server's lifetime so
+ * wait() below returns.
+ */
+HostPort
+spawnListenWorker(Subprocess &worker, int maxAccepts)
+{
+    worker.spawn({selfExePath(), "dse-worker", "--listen=127.0.0.1:0",
+                  "--max-accepts=" + std::to_string(maxAccepts)},
+                 {});
+    std::string banner;
+    char c;
+    while (banner.find('\n') == std::string::npos &&
+           worker.readSome(&c, 1) == 1)
+        banner.push_back(c);
+    const std::string prefix = "dse-worker listening on ";
+    EXPECT_EQ(banner.rfind(prefix, 0), 0u) << banner;
+    return parseHostPort(banner.substr(
+        prefix.size(), banner.size() - prefix.size() - 1));
+}
+
+TEST(DistributedDse, RemoteListenWorkerPoolMatchesEvaluateAll)
+{
+    // End-to-end remote transport: two genuinely separate listen
+    // workers (spawned the way an operator would start them, NOT by
+    // the distributor) serve a mixed pool alongside one pinned local
+    // slot. Identity must hold and all three slots must be used.
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = mixedRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    Subprocess workerA, workerB;
+    const HostPort a = spawnListenWorker(workerA, 1);
+    const HostPort b = spawnListenWorker(workerB, 1);
+    ASSERT_GT(a.port, 0);
+    ASSERT_GT(b.port, 0);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.hosts = {a.describe(), b.describe(), "local"};
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 3, opts);
+    expectSamePoints(ref, got);
+    if (!ambientFaults()) {
+        EXPECT_EQ(stats.remoteConnects, 2);
+        EXPECT_EQ(stats.remoteConnectFailures, 0);
+        EXPECT_EQ(stats.workerDeaths, 0);
+    }
+    // max-accepts=1: both servers exit cleanly once the master is
+    // done with them -- which also proves the master disconnected.
+    EXPECT_EQ(workerA.wait(), 0);
+    EXPECT_EQ(workerB.wait(), 0);
+}
+
+TEST(DistributedDse, AllRemoteHostsDeadDegradesToLocalWorkers)
+{
+    // Every pool entry points at a port that refuses instantly
+    // (bind-then-close guarantees nothing listens). The sweep must
+    // quarantine both hosts, refill the slots with local workers and
+    // still return identical bits -- the "losing every remote
+    // degrades to the PR 7 local path" contract.
+    std::string err;
+    int deadPort = 0;
+    HostPort loop;
+    loop.host = "127.0.0.1";
+    const int probe = tcpListen(loop, 1, &err, &deadPort);
+    ASSERT_GE(probe, 0) << err;
+    ASSERT_EQ(::close(probe), 0);
+
+    Explorer ex("BN254N");
+    const std::vector<DseRequest> reqs = mixedRequests(ex);
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    const std::string dead =
+        "127.0.0.1:" + std::to_string(deadPort);
+    opts.hosts = {dead, dead};
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 2, opts);
+    expectSamePoints(ref, got);
+    EXPECT_GE(stats.remoteConnectFailures, 2);
+    EXPECT_GE(stats.hostQuarantines, 2);
+    EXPECT_GE(stats.remoteDegraded, 2);
+    EXPECT_EQ(stats.remoteConnects, 0);
+}
+
+TEST(DistributedDse, QuarantinedHostStaysEmptyWithoutDegrade)
+{
+    // remoteDegradeToLocal=false: a dead remote's slot must NOT
+    // refill locally. With fallbackLocal the sweep still completes
+    // in-process -- results identical, zero workers ever spawned.
+    std::string err;
+    int deadPort = 0;
+    HostPort loop;
+    loop.host = "127.0.0.1";
+    const int probe = tcpListen(loop, 1, &err, &deadPort);
+    ASSERT_GE(probe, 0) << err;
+    ASSERT_EQ(::close(probe), 0);
+
+    Explorer ex("BN254N");
+    std::vector<DseRequest> reqs;
+    reqs.emplace_back();
+    reqs.back().opt.part = TracePart::FinalExpOnly;
+    reqs.back().label = "solo";
+    const std::vector<DsePoint> ref = ex.evaluateAll(reqs, 1);
+
+    DistributorStats stats;
+    DistributorOptions opts;
+    opts.stats = &stats;
+    opts.hosts = {"127.0.0.1:" + std::to_string(deadPort)};
+    opts.remoteDegradeToLocal = false;
+    opts.maxRespawns = 2;
+    const std::vector<DsePoint> got =
+        ex.evaluateAllDistributed(reqs, 1, opts);
+    expectSamePoints(ref, got);
+    EXPECT_EQ(stats.remoteDegraded, 0);
+    EXPECT_EQ(stats.workersSpawned, 0);
+    EXPECT_GE(stats.fallbackGroups, 1);
 }
 
 TEST(DistributedDse, MatchesEvaluateAllAcrossFullCatalog)

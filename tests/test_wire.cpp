@@ -14,10 +14,14 @@
 #include <cmath>
 #include <limits>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "curve/catalog.h"
 #include "dse/distributor.h"
 #include "dse/wire.h"
 #include "support/rng.h"
+#include "support/subprocess.h"
 
 namespace finesse {
 namespace {
@@ -312,6 +316,94 @@ TEST(Wire, FrameBufferRejectsOversizedLength)
     buf.append(frame.data(), frame.size());
     Frame f;
     EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FrameBufferHonorsLoweredPayloadCap)
+{
+    // The handshake hardening: before a peer's Hello is validated the
+    // master caps its frame buffer at a few KB, so a forged length
+    // prefix cannot drive a large allocation. A frame whose header
+    // claims more than the cap is rejected AT HEADER-DECODE TIME --
+    // the poison fires even though none of the payload ever arrives.
+    std::vector<u8> frame = encodeWorkerError({0, "x"});
+    const u32 claimed = 8192;
+    for (int i = 0; i < 4; ++i)
+        frame[5 + static_cast<size_t>(i)] =
+            static_cast<u8>(claimed >> (8 * i));
+
+    FrameBuffer capped;
+    capped.maxPayload(4096);
+    capped.append(frame.data(), wire::kHeaderBytes); // header only
+    Frame f;
+    EXPECT_THROW(capped.next(f), FatalError);
+
+    // The same header under the default cap just waits for its bytes.
+    FrameBuffer uncapped;
+    uncapped.append(frame.data(), wire::kHeaderBytes);
+    EXPECT_FALSE(uncapped.next(f));
+}
+
+TEST(Wire, FrameBufferCapCannotExceedProtocolMax)
+{
+    // maxPayload clamps to kMaxPayload: a caller cannot accidentally
+    // re-open the 4 GiB allocation hole by passing a huge cap.
+    std::vector<u8> frame = encodeWorkerError({0, "x"});
+    const u32 huge = static_cast<u32>(kMaxPayload) + 1;
+    for (int i = 0; i < 4; ++i)
+        frame[5 + static_cast<size_t>(i)] =
+            static_cast<u8>(huge >> (8 * i));
+    FrameBuffer buf;
+    buf.maxPayload(~size_t{0});
+    buf.append(frame.data(), frame.size());
+    Frame f;
+    EXPECT_THROW(buf.next(f), FatalError);
+}
+
+TEST(Wire, FramesSurviveASocketpairInArbitraryFragments)
+{
+    // The same reassembly property as the byte-dribble test, but
+    // through a real AF_UNIX stream socket with the production fd
+    // helpers (writeAllFd / readSomeFd) -- the path every socket
+    // transport shares. Writes are fragmented at prime-ish sizes so
+    // reads observe arbitrary splits.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    const std::vector<u8> a = encodeGroupRequest(sampleRequest());
+    const std::vector<u8> b = encodeGroupResult(sampleResult());
+    std::vector<u8> stream = a;
+    stream.insert(stream.end(), b.begin(), b.end());
+
+    FrameBuffer buf;
+    std::vector<Frame> got;
+    Frame f;
+    u8 chunk[64];
+    size_t sent = 0;
+    while (sent < stream.size()) {
+        const size_t n = std::min<size_t>(37, stream.size() - sent);
+        ASSERT_TRUE(writeAllFd(sv[0], stream.data() + sent, n));
+        sent += n;
+        for (;;) {
+            // Drain what the socket has buffered; the writer end is
+            // this same thread, so a short read just means "caught up".
+            const long r = readSomeFd(sv[1], chunk, sizeof chunk);
+            ASSERT_GT(r, 0);
+            buf.append(chunk, static_cast<size_t>(r));
+            while (buf.next(f))
+                got.push_back(f);
+            if (static_cast<size_t>(r) < sizeof chunk)
+                break;
+        }
+    }
+    ::close(sv[0]);
+    ::close(sv[1]);
+
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].type, FrameType::GroupRequest);
+    EXPECT_EQ(got[1].type, FrameType::GroupResult);
+    EXPECT_EQ(got[0].payload, payloadOf(a));
+    EXPECT_EQ(got[1].payload, payloadOf(b));
+    EXPECT_EQ(buf.pendingBytes(), 0u);
 }
 
 TEST(Wire, FrameBufferWaitsOnIncompleteFrame)

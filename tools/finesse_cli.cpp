@@ -30,6 +30,13 @@
  *   --dse-workers=N   run the `dse` sweep on N worker subprocesses
  *                     (multi-process fan-out; config key `dse_workers`;
  *                     0 = in-process on --jobs threads)
+ *   --dse-transport=T pipe | loopback-tcp: transport for locally
+ *                     spawned workers (config key `dse.transport`;
+ *                     default FINESSE_DSE_TRANSPORT env / pipe)
+ *   --dse-hosts=H     comma-separated host:port pool of running
+ *                     `dse-worker --listen` peers; the token "local"
+ *                     pins a local slot (config key `dse.hosts`;
+ *                     default FINESSE_DSE_HOSTS env / all-local)
  * The config file uses `key = value` lines (see core/options.h); when
  * omitted, defaults (BN254N, paper hardware model) apply.
  */
@@ -57,7 +64,9 @@ usage()
                  "{compile|validate|simulate|area|dse|dse-worker|disasm|"
                  "deploy|exec} "
                  "[config-file] [--passes=<list>] [--pass-stats] "
-                 "[--no-trace-cache] [--jobs=N] [--dse-workers=N]\n");
+                 "[--no-trace-cache] [--jobs=N] [--dse-workers=N] "
+                 "[--dse-transport={pipe|loopback-tcp}] "
+                 "[--dse-hosts=host:port,...]\n");
     return 2;
 }
 
@@ -126,6 +135,8 @@ main(int argc, char **argv)
     int jobs = -1; // -1 = not on the command line; config/default wins
     int dseWorkers = -1;
     std::string passList;
+    std::string dseTransport;
+    std::string dseHosts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--pass-stats") {
@@ -148,6 +159,16 @@ main(int argc, char **argv)
                              arg.c_str());
                 return usage();
             }
+        } else if (arg.rfind("--dse-transport=", 0) == 0) {
+            dseTransport = arg.substr(16);
+            if (dseTransport != "pipe" &&
+                dseTransport != "loopback-tcp") {
+                std::fprintf(stderr, "bad --dse-transport value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--dse-hosts=", 0) == 0) {
+            dseHosts = arg.substr(12);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return usage();
@@ -212,6 +233,23 @@ main(int argc, char **argv)
             DistributorStats dstats;
             DistributorOptions dopts;
             applyDistributorConfig(cfg, dopts);
+            if (dseTransport == "pipe")
+                dopts.transport = DseTransport::Pipe;
+            else if (dseTransport == "loopback-tcp")
+                dopts.transport = DseTransport::LoopbackTcp;
+            if (!dseHosts.empty()) {
+                dopts.hosts.clear();
+                size_t from = 0;
+                while (from <= dseHosts.size()) {
+                    size_t comma = dseHosts.find(',', from);
+                    if (comma == std::string::npos)
+                        comma = dseHosts.size();
+                    if (comma > from)
+                        dopts.hosts.push_back(
+                            dseHosts.substr(from, comma - from));
+                    from = comma + 1;
+                }
+            }
             dopts.stats = &dstats;
             const DsePoint best =
                 ex.exploreVariants(opt, Objective::MinCycles, true,
