@@ -294,4 +294,52 @@ MontCtx::inv(Residue &r, const Residue &a) const
     mul(r, r, r2ModP_);
 }
 
+void
+MontCtx::batchInv(Residue *r, const Residue *a, size_t n) const
+{
+    if (n == 0)
+        return;
+    // Montgomery's trick. prefix[i] carries the running product of
+    // the NONZERO inputs a[0..i]; zeros are skipped so they cannot
+    // zero out the whole chain (each still yields inv(0) == 0 below,
+    // matching the scalar inv contract).
+    std::vector<Residue> prefix(n);
+    Residue acc = one();
+    for (size_t i = 0; i < n; ++i) {
+        if (!isZero(a[i])) {
+            // Zero-init: mul only writes the low limbCount() limbs,
+            // and these structs get copied whole (acc -> prefix,
+            // invAcc -> r[0] below) -- garbage upper limbs would
+            // break bit-identity with scalar inv().
+            Residue next{};
+            mul(next, acc, a[i]);
+            acc = next;
+        }
+        prefix[i] = acc;
+    }
+    // One inversion of the total product, then walk back: on entry to
+    // step i, invAcc is the inverse of the nonzero product a[0..i],
+    // so multiplying by the product BEFORE i isolates a[i]^-1. Every
+    // intermediate is a fully-reduced residue product, so each result
+    // is the unique reduced inverse -- bit-identical to scalar inv.
+    Residue invAcc{};
+    inv(invAcc, acc);
+    for (size_t i = n; i-- > 0;) {
+        if (isZero(a[i])) {
+            r[i] = Residue{};
+            continue;
+        }
+        const Residue ai = a[i]; // copy first: r may alias a
+        if (i == 0) {
+            r[i] = invAcc;
+        } else {
+            r[i] = Residue{};
+            mul(r[i], invAcc, prefix[i - 1]);
+        }
+        Residue next{};
+        mul(next, invAcc, ai);
+        invAcc = next;
+    }
+}
+
 } // namespace finesse

@@ -159,6 +159,17 @@ class MontCtx
      *  differential oracle for inv (prime p only). */
     void invFermat(Residue &r, const Residue &a) const;
 
+    /**
+     * Vectorized batch inversion (Montgomery's trick): r[i] = a[i]^-1
+     * for all i with ONE field inversion and 3(n-1) multiplications
+     * instead of n inversions. Zero inputs map to zero (matching inv)
+     * and are skipped by the product chain, so a zero does not poison
+     * the batch. Results are bit-identical to per-element inv (the
+     * fully-reduced inverse residue is unique). In-place operation
+     * (r == a) is supported.
+     */
+    void batchInv(Residue *r, const Residue *a, size_t n) const;
+
     // Generic runtime-width oracle ---------------------------------------
     // One compiled loop serving every width; bit-identical results to
     // the fixed-limb kernels above. Used by differential tests and the

@@ -16,8 +16,10 @@
 #include <mutex>
 
 #include "compiler/codegen.h"
+#include "core/artifacts.h"
 #include "pairing/cache.h"
 #include "sim/functional.h"
+#include "support/diskcache.h"
 
 namespace finesse {
 
@@ -96,6 +98,10 @@ std::atomic<size_t> g_traceHits{0};
 std::atomic<size_t> g_traceMisses{0};
 std::atomic<size_t> g_traceCoalesced{0};
 std::atomic<size_t> g_traceEntries{0}; ///< slots across all shards
+std::atomic<size_t> g_traceDiskHits{0};
+std::atomic<size_t> g_traceDiskMisses{0};
+std::atomic<size_t> g_traceDiskPuts{0};
+std::atomic<size_t> g_traceDiskRejects{0};
 
 std::string
 traceCacheKey(const std::string &curve, const CompileOptions &opt)
@@ -159,6 +165,46 @@ evictOverCapacity()
 }
 
 /**
+ * Persistent-cache leg of a trace miss: try to load the traced +
+ * optimized module from the artifact cache (keyed by the canonical
+ * trace key plus the build/catalog fingerprint, core/artifacts.h).
+ * An entry that passes the DiskCache checksum but fails to decode is
+ * invalidated on disk and counted as a loud reject.
+ */
+bool
+loadTraceArtifact(const std::string &key, TraceCacheEntry &entry)
+{
+    DiskCache *dc = artifactCache();
+    if (!dc)
+        return false;
+    const std::string diskKey = traceArtifactKey(key);
+    std::vector<u8> bytes;
+    if (!dc->get(diskKey, bytes)) {
+        g_traceDiskMisses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!decodeTraceArtifact(bytes, entry.module, entry.stats)) {
+        dc->remove(diskKey);
+        g_traceDiskRejects.fetch_add(1, std::memory_order_relaxed);
+        g_traceDiskMisses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    g_traceDiskHits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+storeTraceArtifact(const std::string &key, const TraceCacheEntry &entry)
+{
+    DiskCache *dc = artifactCache();
+    if (!dc)
+        return;
+    if (dc->put(traceArtifactKey(key),
+                encodeTraceArtifact(entry.module, entry.stats)))
+        g_traceDiskPuts.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
  * Front end with caching: trace + IROpt exactly once per (curve,
  * variants, part, pipeline) key. Returns a zero-clone handle aliased
  * into the cache slot: the module is shared read-only by every caller
@@ -207,8 +253,13 @@ sharedFrontend(const ICurveHandle &h, const CompileOptions &opt,
     if (owner) {
         try {
             TraceCacheEntry entry;
-            entry.module = traceNow();
-            entry.stats = statsOut;
+            if (loadTraceArtifact(key, entry)) {
+                statsOut = entry.stats;
+            } else {
+                entry.module = traceNow();
+                entry.stats = statsOut;
+                storeTraceArtifact(key, entry);
+            }
             std::lock_guard<std::mutex> sl(slot->mutex);
             slot->entry = std::move(entry);
             slot->ready = true;
@@ -345,6 +396,33 @@ class CurveHandleImpl : public ICurveHandle
         return flattenPairInputs(sys_, p, q);
     }
 
+    std::vector<std::vector<BigInt>>
+    sampleInputsBatch(Rng &rng, TracePart part, int n) const override
+    {
+        // Scalars are drawn in the exact order of n sequential
+        // sampleInputs calls (s1_0, s2_0, s1_1, ...), so the RNG
+        // stream -- and therefore every sampled point -- is identical
+        // to the per-element path; only the affine conversions batch.
+        if (part == TracePart::FinalExpOnly || n <= 1)
+            return ICurveHandle::sampleInputsBatch(rng, part, n);
+        using FtT = typename TW::FtT;
+        std::vector<JacPt<Fp>> j1;
+        std::vector<JacPt<FtT>> j2;
+        j1.reserve(static_cast<size_t>(n));
+        j2.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            j1.push_back(sys_.randomG1Jac(rng));
+            j2.push_back(sys_.randomG2Jac(rng));
+        }
+        const auto a1 = jacToAffineBatch(j1, &sys_.fpCtx());
+        const auto a2 = jacToAffineBatch(j2, sys_.twistCurve().field);
+        std::vector<std::vector<BigInt>> out;
+        out.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            out.push_back(flattenPairInputs(sys_, a1[i], a2[i]));
+        return out;
+    }
+
     std::vector<BigInt>
     nativeReference(const std::vector<BigInt> &inputs,
                     TracePart part) const override
@@ -394,6 +472,10 @@ traceCacheStats()
     s.hits = g_traceHits.load(std::memory_order_relaxed);
     s.misses = g_traceMisses.load(std::memory_order_relaxed);
     s.coalesced = g_traceCoalesced.load(std::memory_order_relaxed);
+    s.diskHits = g_traceDiskHits.load(std::memory_order_relaxed);
+    s.diskMisses = g_traceDiskMisses.load(std::memory_order_relaxed);
+    s.diskPuts = g_traceDiskPuts.load(std::memory_order_relaxed);
+    s.diskRejects = g_traceDiskRejects.load(std::memory_order_relaxed);
     for (TraceShard &shard : traceShards()) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         s.entries += shard.slots.size();
@@ -422,6 +504,10 @@ clearTraceCache()
     g_traceHits.store(0, std::memory_order_relaxed);
     g_traceMisses.store(0, std::memory_order_relaxed);
     g_traceCoalesced.store(0, std::memory_order_relaxed);
+    g_traceDiskHits.store(0, std::memory_order_relaxed);
+    g_traceDiskMisses.store(0, std::memory_order_relaxed);
+    g_traceDiskPuts.store(0, std::memory_order_relaxed);
+    g_traceDiskRejects.store(0, std::memory_order_relaxed);
 }
 
 std::string
@@ -479,8 +565,10 @@ Framework::validateModule(const Module &m, int vectors, TracePart part,
     Rng rng(seed);
     FpCtx fp(info().p);
     int matches = 0;
+    const auto allInputs =
+        handle_->sampleInputsBatch(rng, part, vectors);
     for (int i = 0; i < vectors; ++i) {
-        const auto inputs = handle_->sampleInputs(rng, part);
+        const auto &inputs = allInputs[static_cast<size_t>(i)];
         const auto want = handle_->nativeReference(inputs, part);
         matches += runModule(m, fp, inputs) == want;
     }
@@ -495,8 +583,10 @@ Framework::validate(const CompileResult &result, int vectors,
     report.vectors = vectors;
     Rng rng(seed);
     FpCtx fp(info().p);
+    const auto allInputs =
+        handle_->sampleInputsBatch(rng, part, vectors);
     for (int i = 0; i < vectors; ++i) {
-        const auto inputs = handle_->sampleInputs(rng, part);
+        const auto &inputs = allInputs[static_cast<size_t>(i)];
         const auto want = handle_->nativeReference(inputs, part);
         const auto gotModule =
             runModule(result.prog.module, fp, inputs);

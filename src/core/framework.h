@@ -167,6 +167,24 @@ class ICurveHandle
     virtual std::vector<BigInt> sampleInputs(Rng &rng,
                                              TracePart part) const = 0;
 
+    /**
+     * @p n input sets drawn from the same RNG stream as @p n
+     * successive sampleInputs calls (identical vectors), but with the
+     * per-point Jacobian-to-affine conversions folded into one batch
+     * inversion (Montgomery's trick): 2n field inversions become 2.
+     * Validation input generation is the heaviest non-compile part of
+     * a sweep's cross-check, and inversion dominates it.
+     */
+    virtual std::vector<std::vector<BigInt>>
+    sampleInputsBatch(Rng &rng, TracePart part, int n) const
+    {
+        std::vector<std::vector<BigInt>> out;
+        out.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            out.push_back(sampleInputs(rng, part));
+        return out;
+    }
+
     /** Reference computation in the module I/O convention. */
     virtual std::vector<BigInt>
     nativeReference(const std::vector<BigInt> &inputs,
@@ -196,10 +214,22 @@ CompileResult runBackend(Module module, const PipelineModel &hw,
  */
 struct TraceCacheStats
 {
-    size_t hits = 0;      ///< ready entry found
-    size_t misses = 0;    ///< == number of front-end traces performed
+    size_t hits = 0;      ///< ready in-memory entry found
+    size_t misses = 0;    ///< in-memory misses (disk consulted if enabled)
     size_t coalesced = 0; ///< waited on another thread's in-flight trace
     size_t entries = 0;   ///< resident cached modules
+
+    // Persistent artifact-cache legs (all zero when
+    // $FINESSE_ARTIFACT_CACHE is unset: the disk is never consulted
+    // and in-memory behavior is bit-identical to a build without the
+    // cache).
+    size_t diskHits = 0;    ///< traces loaded from the artifact cache
+    size_t diskMisses = 0;  ///< disk consulted, no usable entry
+    size_t diskPuts = 0;    ///< freshly-traced modules persisted
+    size_t diskRejects = 0; ///< undecodable entries discarded loudly
+
+    /** Front-end traces actually computed (not served by any cache). */
+    size_t tracesPerformed() const { return misses - diskHits; }
 };
 
 /** Snapshot the trace-cache counters. */

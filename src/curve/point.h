@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "bigint/bigint.h"
+#include "field/fieldops.h"
 #include "field/sqrt.h"
 #include "support/common.h"
 
@@ -171,13 +172,44 @@ jacToAffine(const JacPt<F> &p, const typename F::Ctx *ctx)
     return AffinePt<F>::make(p.x.mul(zi2), p.y.mul(zi2).mul(zinv));
 }
 
-/** Scalar multiplication [n]P (double-and-add; setup/reference only). */
+/**
+ * Batched Jacobian -> affine: all Z inversions fold into one batch
+ * inversion (Montgomery's trick, field/fieldops.h). Point-for-point
+ * bit-identical to jacToAffine -- batch sampling paths must not
+ * perturb any value a sequential path would produce.
+ */
 template <typename F>
-AffinePt<F>
-scalarMul(const CurveCtx<F> &c, const AffinePt<F> &p, const BigInt &n)
+std::vector<AffinePt<F>>
+jacToAffineBatch(const std::vector<JacPt<F>> &pts,
+                 const typename F::Ctx *ctx)
+{
+    std::vector<F> zinv;
+    zinv.reserve(pts.size());
+    for (const JacPt<F> &p : pts)
+        zinv.push_back(p.z);
+    batchInvInPlace(zinv); // infinity has z == 0, stays 0, unused below
+    std::vector<AffinePt<F>> out;
+    out.reserve(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].isInfinity()) {
+            out.push_back(AffinePt<F>::atInfinity());
+            continue;
+        }
+        const F zi2 = zinv[i].sqr();
+        out.push_back(AffinePt<F>::make(pts[i].x.mul(zi2),
+                                        pts[i].y.mul(zi2).mul(zinv[i])));
+    }
+    (void)ctx;
+    return out;
+}
+
+/** [n]P in Jacobian form (the affine conversion is the caller's). */
+template <typename F>
+JacPt<F>
+scalarMulJac(const CurveCtx<F> &c, const AffinePt<F> &p, const BigInt &n)
 {
     if (n.isZero() || p.infinity)
-        return AffinePt<F>::atInfinity();
+        return JacPt<F>::fromAffine(AffinePt<F>::atInfinity(), c.field);
     const AffinePt<F> base = n.isNegative() ? p.negate() : p;
     const BigInt e = n.abs();
     JacPt<F> acc = JacPt<F>::fromAffine(AffinePt<F>::atInfinity(), c.field);
@@ -186,7 +218,15 @@ scalarMul(const CurveCtx<F> &c, const AffinePt<F> &p, const BigInt &n)
         if (e.bit(i))
             acc = jacAddAffine(acc, base, c.field);
     }
-    return jacToAffine(acc, c.field);
+    return acc;
+}
+
+/** Scalar multiplication [n]P (double-and-add; setup/reference only). */
+template <typename F>
+AffinePt<F>
+scalarMul(const CurveCtx<F> &c, const AffinePt<F> &p, const BigInt &n)
+{
+    return jacToAffine(scalarMulJac(c, p, n), c.field);
 }
 
 /** Affine addition (reference oracle for tests). */

@@ -6,6 +6,8 @@
  */
 #include "dse/wire.h"
 
+#include "core/artifacts.h"
+
 namespace finesse {
 namespace wire {
 
@@ -114,42 +116,19 @@ getHw(WireReader &r)
     return hw;
 }
 
+// OptStats encoding is shared with the artifact cache: one
+// definition (core/artifacts.h putOptStats/getOptStats), so a cached
+// point and a wire-shipped point round-trip through identical bytes.
 void
 putStats(WireWriter &w, const OptStats &s)
 {
-    w.u64v(s.instrsBefore);
-    w.u64v(s.instrsAfter);
-    w.i32v(s.iterations);
-    w.f64v(s.seconds);
-    w.u32v(static_cast<u32>(s.passes.size()));
-    for (const PassStats &ps : s.passes) {
-        w.str(ps.name);
-        w.i32v(ps.invocations);
-        w.i64v(ps.instrsRemoved);
-        w.f64v(ps.seconds);
-        w.boolv(ps.frontend);
-    }
+    putOptStats(w, s);
 }
 
 OptStats
 getStats(WireReader &r)
 {
-    OptStats s;
-    s.instrsBefore = r.u64v();
-    s.instrsAfter = r.u64v();
-    s.iterations = r.i32v();
-    s.seconds = r.f64v();
-    const u32 n = r.count(4 + 4 + 8 + 8 + 1); // minimal PassStats
-    for (u32 i = 0; i < n; ++i) {
-        PassStats ps;
-        ps.name = r.str();
-        ps.invocations = r.i32v();
-        ps.instrsRemoved = r.i64v();
-        ps.seconds = r.f64v();
-        ps.frontend = r.boolv();
-        s.passes.push_back(std::move(ps));
-    }
-    return s;
+    return getOptStats(r);
 }
 
 } // namespace

@@ -10,7 +10,11 @@
 #ifndef FINESSE_FIELD_FIELDOPS_H_
 #define FINESSE_FIELD_FIELDOPS_H_
 
+#include <type_traits>
+#include <vector>
+
 #include "bigint/bigint.h"
+#include "field/fp.h"
 #include "support/common.h"
 
 namespace finesse {
@@ -59,6 +63,44 @@ muliSmall(const F &a, i64 k)
             acc = acc.add(a);
     }
     return acc;
+}
+
+/**
+ * Batch inversion in place (Montgomery's trick) for any element type:
+ * one inv() + 3(n-1) muls replace n inversions, with bit-identical
+ * results (every intermediate is fully reduced, and the reduced
+ * inverse is unique). Zero elements stay zero and are skipped by the
+ * product chain. Fp lowers to the residue-level MontCtx::batchInv;
+ * tower elements (G2 twist coordinates) run the same trick over their
+ * own mul/inv.
+ */
+template <typename F>
+void
+batchInvInPlace(std::vector<F> &elems)
+{
+    if constexpr (std::is_same_v<F, Fp>) {
+        Fp::batchInv(elems);
+    } else {
+        const size_t n = elems.size();
+        if (n == 0)
+            return;
+        std::vector<F> prefix;
+        prefix.reserve(n);
+        F acc = elems[0].oneLike();
+        for (size_t i = 0; i < n; ++i) {
+            if (!elems[i].isZero())
+                acc = acc.mul(elems[i]);
+            prefix.push_back(acc);
+        }
+        F invAcc = acc.inv();
+        for (size_t i = n; i-- > 0;) {
+            if (elems[i].isZero())
+                continue;
+            const F orig = elems[i];
+            elems[i] = i == 0 ? invAcc : invAcc.mul(prefix[i - 1]);
+            invAcc = invAcc.mul(orig);
+        }
+    }
 }
 
 /** a^e by square-and-multiply for a non-negative big-integer exponent. */

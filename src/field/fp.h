@@ -177,6 +177,26 @@ class Fp
         return r;
     }
 
+    /**
+     * Batch inversion in place (Montgomery's trick, MontCtx::batchInv):
+     * one inversion + 3(n-1) muls for the whole vector, bit-identical
+     * results to per-element inv(). Zero elements stay zero. All
+     * elements must share one field context.
+     */
+    static void
+    batchInv(std::vector<Fp> &elems)
+    {
+        if (elems.empty())
+            return;
+        const Ctx *ctx = elems[0].ctx_;
+        std::vector<Residue> vals(elems.size());
+        for (size_t i = 0; i < elems.size(); ++i)
+            vals[i] = elems[i].v_;
+        ctx->mont.batchInv(vals.data(), vals.data(), vals.size());
+        for (size_t i = 0; i < elems.size(); ++i)
+            elems[i].v_ = vals[i];
+    }
+
     /** a/2 = a * inv2; maps to a constant multiplication in hardware. */
     Fp
     halve() const

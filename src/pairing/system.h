@@ -114,22 +114,37 @@ class CurveSystem
     const FpCtx &fpCtx() const { return fp_; }
 
     // Group sampling -------------------------------------------------------
-    G1Affine
-    randomG1(Rng &rng) const
+    // The Jacobian variants defer the affine conversion so batch
+    // samplers can fold many Z inversions into one Montgomery-trick
+    // batch (jacToAffineBatch); they consume the identical RNG stream.
+    JacPt<Fp>
+    randomG1Jac(Rng &rng) const
     {
         const BigInt s =
             BigInt::randomBelow(rng, info_.r - BigInt(u64{1})) +
             BigInt(u64{1});
-        return scalarMul(g1Curve_, g1Gen_, s);
+        return scalarMulJac(g1Curve_, g1Gen_, s);
+    }
+
+    JacPt<FtT>
+    randomG2Jac(Rng &rng) const
+    {
+        const BigInt s =
+            BigInt::randomBelow(rng, info_.r - BigInt(u64{1})) +
+            BigInt(u64{1});
+        return scalarMulJac(twistCurve_, g2Gen_, s);
+    }
+
+    G1Affine
+    randomG1(Rng &rng) const
+    {
+        return jacToAffine(randomG1Jac(rng), &fp_);
     }
 
     G2Affine
     randomG2(Rng &rng) const
     {
-        const BigInt s =
-            BigInt::randomBelow(rng, info_.r - BigInt(u64{1})) +
-            BigInt(u64{1});
-        return scalarMul(twistCurve_, g2Gen_, s);
+        return jacToAffine(randomG2Jac(rng), twistCurve_.field);
     }
 
     // Pairing ---------------------------------------------------------------

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * DiskCache implementation. Entry file layout (little-endian):
+ *
+ *     u32 magic   'FART' (0x54524146 on disk)
+ *     u32 version kEntryFormatVersion
+ *     u32 keyLen;  key bytes        (full key, collision/tamper guard)
+ *     u64 checksum                  (FNV-1a over the payload)
+ *     u64 payloadLen; payload bytes
+ *
+ * Readers validate every field against the bytes actually present; a
+ * failed check unlinks the entry, warns on stderr, and reads as a
+ * miss. Writers never modify a published file in place: a unique tmp
+ * file (pid + sequence) is renamed over the entry path, so readers
+ * only ever observe complete entries.
+ */
+#include "support/diskcache.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <memory>
+#include <mutex>
+
+namespace finesse {
+
+namespace {
+
+constexpr u32 kEntryMagic = 0x54524146u; // "FART" little-endian
+constexpr u32 kEntryFormatVersion = 1;
+constexpr size_t kEntryHeaderBytes = 4 + 4 + 4 + 8 + 8;
+
+u32
+loadU32(const u8 *p)
+{
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<u32>(p[i]) << (8 * i);
+    return v;
+}
+
+u64
+loadU64(const u8 *p)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+storeU32(std::vector<u8> &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void
+storeU64(std::vector<u8> &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/** Read a whole file; false when it does not exist or cannot be read. */
+bool
+readFile(const std::string &path, std::vector<u8> &out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    u8 buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+u64
+DiskCache::fnv1a(const void *data, size_t n)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 h = 14695981039346656037ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir))
+{
+    FINESSE_REQUIRE(!dir_.empty(), "DiskCache: empty directory");
+    // mkdir -p, parents included: the cache dir is often a fresh path
+    // under a bench/CI working directory.
+    std::string prefix;
+    for (size_t i = 0; i <= dir_.size(); ++i) {
+        if (i == dir_.size() || dir_[i] == '/') {
+            prefix = dir_.substr(0, i);
+            if (prefix.empty() || prefix == ".")
+                continue;
+            if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+                fatal("DiskCache: cannot create ", prefix, ": ",
+                      std::strerror(errno));
+        }
+    }
+}
+
+std::string
+DiskCache::pathFor(const std::string &key) const
+{
+    // Content address: the filename is a hash of the key; the full
+    // key is embedded in the entry and re-checked on read, so a
+    // filename collision degrades to alternating overwrites of one
+    // slot, never to serving another key's payload.
+    char name[2 * 8 + 1];
+    std::snprintf(name, sizeof name, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a(key.data(), key.size())));
+    return dir_ + "/" + name + ".art";
+}
+
+bool
+DiskCache::get(const std::string &key, std::vector<u8> &payload) const
+{
+    const std::string path = pathFor(key);
+    std::vector<u8> bytes;
+    if (!readFile(path, bytes)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    const char *why = nullptr;
+    do {
+        if (bytes.size() < kEntryHeaderBytes) {
+            why = "truncated header";
+            break;
+        }
+        const u8 *p = bytes.data();
+        if (loadU32(p) != kEntryMagic) {
+            why = "bad magic";
+            break;
+        }
+        if (loadU32(p + 4) != kEntryFormatVersion) {
+            why = "format version mismatch";
+            break;
+        }
+        const u64 keyLen = loadU32(p + 8);
+        if (keyLen != key.size() ||
+            bytes.size() < kEntryHeaderBytes + keyLen) {
+            why = "key mismatch";
+            break;
+        }
+        if (std::memcmp(p + kEntryHeaderBytes, key.data(),
+                        key.size()) != 0) {
+            why = "key mismatch";
+            break;
+        }
+        const u64 checksum = loadU64(p + 12);
+        const u64 payloadLen = loadU64(p + 20);
+        if (bytes.size() != kEntryHeaderBytes + keyLen + payloadLen) {
+            why = "truncated payload";
+            break;
+        }
+        const u8 *body = p + kEntryHeaderBytes + keyLen;
+        if (fnv1a(body, payloadLen) != checksum) {
+            why = "checksum mismatch";
+            break;
+        }
+        payload.assign(body, body + payloadLen);
+    } while (false);
+    if (why) {
+        std::fprintf(stderr,
+                     "finesse: discarding corrupt artifact %s (%s)\n",
+                     path.c_str(), why);
+        ::unlink(path.c_str());
+        rejects_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+DiskCache::put(const std::string &key, const std::vector<u8> &payload) const
+{
+    std::vector<u8> bytes;
+    bytes.reserve(kEntryHeaderBytes + key.size() + payload.size());
+    storeU32(bytes, kEntryMagic);
+    storeU32(bytes, kEntryFormatVersion);
+    storeU32(bytes, static_cast<u32>(key.size()));
+    storeU64(bytes, fnv1a(payload.data(), payload.size()));
+    storeU64(bytes, payload.size());
+    bytes.insert(bytes.end(), key.begin(), key.end());
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+    static std::atomic<u64> seq{0};
+    const std::string path = pathFor(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "finesse: cannot write artifact %s: %s\n",
+                     tmp.c_str(), std::strerror(errno));
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "finesse: cannot publish artifact %s: %s\n",
+                     path.c_str(), std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+DiskCache::remove(const std::string &key) const
+{
+    ::unlink(pathFor(key).c_str());
+}
+
+DiskCacheStats
+DiskCache::stats() const
+{
+    DiskCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.puts = puts_.load(std::memory_order_relaxed);
+    s.rejects = rejects_.load(std::memory_order_relaxed);
+    return s;
+}
+
+// --------------------------------------------- process-wide instance
+
+namespace {
+
+std::mutex g_cacheMutex;
+DiskCache *g_cache = nullptr;
+bool g_cacheInitialized = false;
+// Reconfiguration retires the old instance instead of destroying it:
+// sweep threads that grabbed the pointer before the flip keep using a
+// valid (if no-longer-current) cache. A handful of leaked instances
+// per process is the price of never racing a destructor.
+std::vector<std::unique_ptr<DiskCache>> &
+retiredCaches()
+{
+    static std::vector<std::unique_ptr<DiskCache>> v;
+    return v;
+}
+
+void
+setCacheLocked(const std::string &dir)
+{
+    if (dir.empty()) {
+        g_cache = nullptr;
+        return;
+    }
+    retiredCaches().push_back(std::make_unique<DiskCache>(dir));
+    g_cache = retiredCaches().back().get();
+}
+
+} // namespace
+
+DiskCache *
+artifactCache()
+{
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    if (!g_cacheInitialized) {
+        g_cacheInitialized = true;
+        const char *env = std::getenv(kArtifactCacheEnv);
+        setCacheLocked(env ? env : "");
+    }
+    return g_cache;
+}
+
+void
+configureArtifactCache(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    g_cacheInitialized = true;
+    setCacheLocked(dir);
+}
+
+} // namespace finesse

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Persistent content-addressed artifact cache. One DiskCache instance
+ * owns one directory; entries are opaque byte payloads addressed by a
+ * caller-chosen string key (the callers fold a build/catalog
+ * fingerprint into every key, see core/artifacts.h).
+ *
+ * Durability and concurrency model:
+ *
+ *  - put() writes to a unique temporary file in the cache directory
+ *    and publishes it with rename(2). Publication is atomic: a reader
+ *    (same process, another sweep worker, or a concurrent CI job)
+ *    sees either the complete old entry, the complete new entry, or
+ *    no entry -- never a torn write. Concurrent writers of the same
+ *    key race benignly; last rename wins and both payloads were valid
+ *    for the key by construction.
+ *
+ *  - get() validates everything before trusting a byte: magic, format
+ *    version, the embedded copy of the full key (a 64-bit filename
+ *    hash collision or a tampered file must not alias another key),
+ *    payload length and an FNV-1a checksum. Any mismatch discards the
+ *    entry LOUDLY: a warning on stderr, the file unlinked, and the
+ *    `rejects` counter bumped. A corrupt cache heals itself; it never
+ *    serves corrupt data.
+ *
+ * The process-wide artifact cache used by the framework/DSE layers is
+ * configured from $FINESSE_ARTIFACT_CACHE (or programmatically via
+ * configureArtifactCache); unset/empty means disabled and every layer
+ * behaves exactly as if the cache did not exist.
+ */
+#ifndef FINESSE_SUPPORT_DISKCACHE_H_
+#define FINESSE_SUPPORT_DISKCACHE_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "support/common.h"
+
+namespace finesse {
+
+/** Counters of one DiskCache instance (monotonic, thread-safe). */
+struct DiskCacheStats
+{
+    size_t hits = 0;    ///< valid entry served
+    size_t misses = 0;  ///< no entry on disk
+    size_t puts = 0;    ///< entries published
+    size_t rejects = 0; ///< corrupt/mismatched entries discarded
+};
+
+class DiskCache
+{
+  public:
+    /** Open (creating if needed) the cache directory @p dir. */
+    explicit DiskCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look up @p key. True and the payload on a validated hit; false
+     * on miss or on a discarded corrupt entry.
+     */
+    bool get(const std::string &key, std::vector<u8> &payload) const;
+
+    /** Atomically publish @p payload under @p key (tmp + rename). */
+    bool put(const std::string &key, const std::vector<u8> &payload) const;
+
+    /** Drop @p key's entry if present (decode-level invalidation). */
+    void remove(const std::string &key) const;
+
+    /** Entry file path for @p key (exposed for corruption tests). */
+    std::string pathFor(const std::string &key) const;
+
+    DiskCacheStats stats() const;
+
+    /** FNV-1a over a byte range (also the payload checksum function). */
+    static u64 fnv1a(const void *data, size_t n);
+
+  private:
+    std::string dir_;
+    mutable std::atomic<size_t> hits_{0};
+    mutable std::atomic<size_t> misses_{0};
+    mutable std::atomic<size_t> puts_{0};
+    mutable std::atomic<size_t> rejects_{0};
+};
+
+/** Environment variable selecting the process-wide cache directory. */
+constexpr const char *kArtifactCacheEnv = "FINESSE_ARTIFACT_CACHE";
+
+/**
+ * The process-wide artifact cache, or nullptr when disabled. First
+ * use reads $FINESSE_ARTIFACT_CACHE; configureArtifactCache overrides
+ * at any time. The returned pointer stays valid for the process
+ * lifetime even across reconfiguration (benches flip the cache on and
+ * off between sweep legs while worker threads may still hold the old
+ * pointer).
+ */
+DiskCache *artifactCache();
+
+/** Point the process-wide cache at @p dir; "" disables it. */
+void configureArtifactCache(const std::string &dir);
+
+} // namespace finesse
+
+#endif // FINESSE_SUPPORT_DISKCACHE_H_

@@ -162,5 +162,39 @@ TEST(JacobianConversion, RoundTrip)
     EXPECT_TRUE(jacToAffine(j, &s.fpCtx()).equals(P));
 }
 
+TEST(JacobianConversion, BatchMatchesSequential)
+{
+    // jacToAffineBatch folds all Z inversions into one Montgomery-
+    // trick batch; it must be point-for-point identical to the
+    // sequential jacToAffine, including infinity entries (Z == 0).
+    const auto &s = curveSystem12("BN254N");
+    Rng rng(31);
+
+    std::vector<JacPt<Fp>> j1;
+    j1.push_back(JacPt<Fp>::fromAffine(AffinePt<Fp>::atInfinity(),
+                                       &s.fpCtx()));
+    for (int i = 0; i < 9; ++i)
+        j1.push_back(s.randomG1Jac(rng));
+    j1.insert(j1.begin() + 5, j1[0]);
+    const auto b1 = jacToAffineBatch(j1, &s.fpCtx());
+    ASSERT_EQ(b1.size(), j1.size());
+    for (size_t i = 0; i < j1.size(); ++i) {
+        const auto seq = jacToAffine(j1[i], &s.fpCtx());
+        ASSERT_EQ(b1[i].infinity, seq.infinity) << "index " << i;
+        if (!seq.infinity)
+            EXPECT_TRUE(b1[i].equals(seq)) << "index " << i;
+    }
+
+    // G2: tower coordinates drive the generic field-level batch.
+    std::vector<JacPt<Fp2>> j2;
+    for (int i = 0; i < 6; ++i)
+        j2.push_back(s.randomG2Jac(rng));
+    const auto b2 = jacToAffineBatch(j2, s.twistCurve().field);
+    ASSERT_EQ(b2.size(), j2.size());
+    for (size_t i = 0; i < j2.size(); ++i)
+        EXPECT_TRUE(
+            b2[i].equals(jacToAffine(j2[i], s.twistCurve().field)));
+}
+
 } // namespace
 } // namespace finesse

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Persistent artifact cache (support/diskcache.h + the framework's
+ * trace-artifact integration): round trips, atomic publication under
+ * concurrent multi-process writers, loud self-healing rejection of
+ * truncated / bit-flipped / key-mismatched entries, fingerprint
+ * invalidation of the trace-artifact key schema, and the env-unset
+ * contract (disabled cache == bit-identical in-memory behavior, all
+ * disk counters zero).
+ */
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/artifacts.h"
+#include "core/framework.h"
+#include "curve/catalog.h"
+#include "support/diskcache.h"
+
+using namespace finesse;
+
+namespace {
+
+/** Fresh per-test cache directory under the build tree. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "diskcache_test_" + name;
+    std::string cmd = "rm -rf " + dir;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+}
+
+std::vector<u8>
+payloadOf(const std::string &s)
+{
+    return std::vector<u8>(s.begin(), s.end());
+}
+
+size_t
+fileSize(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 ? static_cast<size_t>(st.st_size)
+                                          : 0;
+}
+
+/** RAII: force the process-wide cache off (and restore nothing). */
+struct CacheOff
+{
+    CacheOff()
+    {
+        unsetenv(kArtifactCacheEnv);
+        configureArtifactCache("");
+    }
+    ~CacheOff() { configureArtifactCache(""); }
+};
+
+} // namespace
+
+TEST(DiskCache, RoundTripAndStats)
+{
+    DiskCache dc(freshDir("roundtrip"));
+    std::vector<u8> out;
+    EXPECT_FALSE(dc.get("some/key", out));
+    EXPECT_TRUE(dc.put("some/key", payloadOf("hello artifacts")));
+    ASSERT_TRUE(dc.get("some/key", out));
+    EXPECT_EQ(out, payloadOf("hello artifacts"));
+
+    // Overwrite: last put wins, still valid.
+    EXPECT_TRUE(dc.put("some/key", payloadOf("v2")));
+    ASSERT_TRUE(dc.get("some/key", out));
+    EXPECT_EQ(out, payloadOf("v2"));
+
+    // Empty payloads are legal entries, distinct from misses.
+    EXPECT_TRUE(dc.put("empty", {}));
+    ASSERT_TRUE(dc.get("empty", out));
+    EXPECT_TRUE(out.empty());
+
+    const DiskCacheStats st = dc.stats();
+    EXPECT_EQ(st.hits, 3u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.puts, 3u);
+    EXPECT_EQ(st.rejects, 0u);
+
+    dc.remove("some/key");
+    EXPECT_FALSE(dc.get("some/key", out));
+}
+
+TEST(DiskCache, NestedDirectoryCreation)
+{
+    const std::string dir = freshDir("nested") + "/a/b/c";
+    DiskCache dc(dir);
+    EXPECT_TRUE(dc.put("k", payloadOf("deep")));
+    std::vector<u8> out;
+    DiskCache reopened(dir);
+    ASSERT_TRUE(reopened.get("k", out));
+    EXPECT_EQ(out, payloadOf("deep"));
+}
+
+TEST(DiskCache, TruncatedEntryRejectedAndHealed)
+{
+    DiskCache dc(freshDir("truncated"));
+    ASSERT_TRUE(dc.put("key", payloadOf("a perfectly valid payload")));
+    const std::string path = dc.pathFor("key");
+    const size_t full = fileSize(path);
+    ASSERT_GT(full, 0u);
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(full - 7)), 0);
+
+    std::vector<u8> out;
+    EXPECT_FALSE(dc.get("key", out));
+    EXPECT_EQ(dc.stats().rejects, 1u);
+    // Healed: the corrupt file is gone, the next lookup is a clean
+    // miss (not another reject) and the key is writable again.
+    EXPECT_EQ(fileSize(path), 0u);
+    EXPECT_FALSE(dc.get("key", out));
+    EXPECT_EQ(dc.stats().rejects, 1u);
+    EXPECT_TRUE(dc.put("key", payloadOf("fresh")));
+    EXPECT_TRUE(dc.get("key", out));
+}
+
+TEST(DiskCache, BitFlippedPayloadRejected)
+{
+    DiskCache dc(freshDir("bitflip"));
+    ASSERT_TRUE(dc.put("key", payloadOf("checksummed payload bytes")));
+    const std::string path = dc.pathFor("key");
+    const size_t full = fileSize(path);
+    ASSERT_GT(full, 0u);
+    // Flip one bit in the last payload byte (headers intact).
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(full - 1));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(full - 1));
+    f.write(&c, 1);
+    f.close();
+
+    std::vector<u8> out;
+    EXPECT_FALSE(dc.get("key", out));
+    EXPECT_EQ(dc.stats().rejects, 1u);
+    EXPECT_EQ(fileSize(path), 0u); // unlinked
+}
+
+TEST(DiskCache, KeyMismatchRejected)
+{
+    // An entry copied (or hash-colliding) into another key's slot must
+    // not alias that key: the embedded full-key check rejects it.
+    DiskCache dc(freshDir("keymismatch"));
+    ASSERT_TRUE(dc.put("key-a", payloadOf("payload of a")));
+    const std::string cmd =
+        "cp " + dc.pathFor("key-a") + " " + dc.pathFor("key-b");
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    std::vector<u8> out;
+    EXPECT_FALSE(dc.get("key-b", out));
+    EXPECT_EQ(dc.stats().rejects, 1u);
+    // key-a is untouched.
+    EXPECT_TRUE(dc.get("key-a", out));
+    EXPECT_EQ(out, payloadOf("payload of a"));
+}
+
+TEST(DiskCache, ConcurrentWritersSameKey)
+{
+    // Two writer processes hammer the same key with differently-sized
+    // valid payloads while the parent reads: every successful get must
+    // return one of the two valid payloads, never a torn mix. This is
+    // the atomic tmp+rename publication contract.
+    const std::string dir = freshDir("concurrent");
+    DiskCache dc(dir);
+    const std::vector<u8> small = payloadOf(std::string(64, 'x'));
+    const std::vector<u8> large = payloadOf(std::string(64 * 1024, 'y'));
+
+    std::vector<pid_t> kids;
+    for (int w = 0; w < 2; ++w) {
+        const pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            DiskCache writer(dir);
+            const std::vector<u8> &mine = w == 0 ? small : large;
+            for (int i = 0; i < 200; ++i)
+                writer.put("contested", mine);
+            _exit(0);
+        }
+        kids.push_back(pid);
+    }
+
+    // Read continuously until both writers exit, then once more: the
+    // final entry is guaranteed present and every observed read must
+    // be one complete payload.
+    size_t reads = 0;
+    std::vector<bool> done(kids.size(), false);
+    size_t doneCount = 0;
+    while (doneCount < kids.size()) {
+        for (size_t k = 0; k < kids.size(); ++k) {
+            if (done[k])
+                continue;
+            int status = 0;
+            if (waitpid(kids[k], &status, WNOHANG) == kids[k]) {
+                EXPECT_TRUE(WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0);
+                done[k] = true;
+                ++doneCount;
+            }
+        }
+        std::vector<u8> mid;
+        if (dc.get("contested", mid)) {
+            ++reads;
+            ASSERT_TRUE(mid == small || mid == large)
+                << "torn read: " << mid.size() << " bytes";
+        }
+    }
+    std::vector<u8> out;
+    ASSERT_TRUE(dc.get("contested", out));
+    EXPECT_TRUE(out == small || out == large);
+    EXPECT_GT(reads, 0u);
+    EXPECT_EQ(dc.stats().rejects, 0u);
+}
+
+TEST(Artifacts, TraceKeySchemaFoldsFingerprint)
+{
+    // The trace-artifact key embeds the build/catalog fingerprint: a
+    // catalog or codec change produces disjoint keys, which is how
+    // stale artifacts are invalidated (they are simply never looked
+    // up, and an aliased slot is caught by the embedded-key check).
+    const std::string key = traceArtifactKey("BN254N|full|gvn|k");
+    EXPECT_NE(key.find("trace|"), std::string::npos);
+    EXPECT_NE(key.find("BN254N|full|gvn|k"), std::string::npos);
+    char fp[17];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(artifactFingerprint()));
+    EXPECT_NE(key.find(fp), std::string::npos)
+        << "key must embed the artifact fingerprint";
+
+    // Same trace key, different fingerprint epoch => different slot.
+    DiskCache dc(freshDir("fingerprint"));
+    EXPECT_NE(dc.pathFor(std::string("trace|deadbeefdeadbeef|k")),
+              dc.pathFor(std::string("trace|") + fp + "|k"));
+}
+
+TEST(Artifacts, TraceModuleRoundTripAndCorruptionRejected)
+{
+    CacheOff off;
+    Framework fw("BN254N");
+    CompileOptions opt;
+    opt.part = TracePart::MillerOnly;
+    OptStats stats;
+    const std::shared_ptr<const Module> m = fw.traceShared(opt, stats);
+
+    const std::vector<u8> bytes = encodeTraceArtifact(*m, stats);
+    Module decoded;
+    OptStats decodedStats;
+    ASSERT_TRUE(decodeTraceArtifact(bytes, decoded, decodedStats));
+    EXPECT_TRUE(decoded == *m);
+    EXPECT_EQ(decodedStats.instrsBefore, stats.instrsBefore);
+    EXPECT_EQ(decodedStats.instrsAfter, stats.instrsAfter);
+    EXPECT_EQ(decodedStats.passes.size(), stats.passes.size());
+
+    // A truncated payload decodes to false, loudly, not to UB.
+    std::vector<u8> cut(bytes.begin(), bytes.end() - 9);
+    EXPECT_FALSE(decodeTraceArtifact(cut, decoded, decodedStats));
+}
+
+TEST(FrameworkDiskCache, WarmTraceSkipsFrontend)
+{
+    const std::string dir = freshDir("framework");
+    unsetenv(kArtifactCacheEnv);
+    configureArtifactCache(dir);
+    Framework fw("BN254N");
+    CompileOptions opt;
+    opt.part = TracePart::MillerOnly;
+
+    clearTraceCache();
+    OptStats s1;
+    const std::shared_ptr<const Module> m1 = fw.traceShared(opt, s1);
+    TraceCacheStats tc = traceCacheStats();
+    EXPECT_EQ(tc.diskHits, 0u);
+    EXPECT_EQ(tc.diskPuts, 1u);
+    EXPECT_EQ(tc.tracesPerformed(), 1u);
+
+    // New process simulated by clearing the in-memory cache: the
+    // trace now comes from disk, bit-identical, no front end run.
+    clearTraceCache();
+    OptStats s2;
+    const std::shared_ptr<const Module> m2 = fw.traceShared(opt, s2);
+    tc = traceCacheStats();
+    EXPECT_EQ(tc.diskHits, 1u);
+    EXPECT_EQ(tc.tracesPerformed(), 0u);
+    EXPECT_TRUE(*m1 == *m2);
+    EXPECT_EQ(s1.instrsAfter, s2.instrsAfter);
+
+    // Corrupt the artifact: overwrite it with a checksum-valid entry
+    // whose payload is not a trace encoding. It survives the
+    // DiskCache integrity check (a truncated FILE would already be
+    // rejected there -- see DiskCache.TruncatedEntryRejectedAndHealed)
+    // and dies in decode: the framework rejects loudly, falls back to
+    // a fresh front-end trace, and re-publishes.
+    DiskCache *dc = artifactCache();
+    ASSERT_NE(dc, nullptr);
+    const std::string diskKey = traceArtifactKey(fw.traceKey(opt));
+    ASSERT_GT(fileSize(dc->pathFor(diskKey)), 0u);
+    ASSERT_TRUE(dc->put(diskKey, std::vector<u8>{0xde, 0xad, 0xbe, 0xef}));
+    clearTraceCache();
+    OptStats s3;
+    const std::shared_ptr<const Module> m3 = fw.traceShared(opt, s3);
+    tc = traceCacheStats();
+    EXPECT_EQ(tc.diskHits, 0u);
+    EXPECT_EQ(tc.diskRejects, 1u);
+    EXPECT_EQ(tc.tracesPerformed(), 1u);
+    EXPECT_EQ(tc.diskPuts, 1u); // re-published
+    EXPECT_TRUE(*m1 == *m3);
+
+    configureArtifactCache("");
+    clearTraceCache();
+}
+
+TEST(FrameworkDiskCache, EnvUnsetMeansPureInMemory)
+{
+    CacheOff off;
+    Framework fw("BN254N");
+    CompileOptions opt;
+    opt.part = TracePart::MillerOnly;
+
+    clearTraceCache();
+    OptStats s1;
+    (void)fw.traceShared(opt, s1);
+    OptStats s2;
+    (void)fw.traceShared(opt, s2); // in-memory hit
+    const TraceCacheStats tc = traceCacheStats();
+    EXPECT_EQ(tc.misses, 1u);
+    EXPECT_EQ(tc.hits, 1u);
+    EXPECT_EQ(tc.diskHits, 0u);
+    EXPECT_EQ(tc.diskMisses, 0u);
+    EXPECT_EQ(tc.diskPuts, 0u);
+    EXPECT_EQ(tc.diskRejects, 0u);
+    EXPECT_EQ(tc.tracesPerformed(), 1u);
+    EXPECT_EQ(artifactCache(), nullptr);
+    clearTraceCache();
+}

@@ -81,6 +81,61 @@ TEST_F(FieldTest, FpBasics)
     EXPECT_TRUE(muliSmall(a, 0).isZero());
 }
 
+/**
+ * batchInvInPlace must match per-element inv() exactly on every
+ * element, with zeros passing through untouched.
+ */
+template <typename F>
+void
+checkBatchInv(const std::vector<F> &elems)
+{
+    std::vector<F> batch = elems;
+    batchInvInPlace(batch);
+    ASSERT_EQ(batch.size(), elems.size());
+    for (size_t i = 0; i < elems.size(); ++i) {
+        if (elems[i].isZero())
+            EXPECT_TRUE(batch[i].isZero()) << "index " << i;
+        else
+            EXPECT_TRUE(batch[i].equals(elems[i].inv())) << "index " << i;
+    }
+}
+
+TEST_F(FieldTest, BatchInvMatchesScalarInvAllLevels)
+{
+    checkBatchInv(std::vector<Fp>{});
+    checkBatchInv(std::vector<Fp>{randFp()});
+
+    // Fp lowers to the residue-level MontCtx::batchInv; zeros
+    // sprinkled through the batch must not poison the product chain.
+    std::vector<Fp> fps;
+    for (int i = 0; i < 17; ++i)
+        fps.push_back(randFp());
+    fps[0] = fps[0].zeroLike();
+    fps[9] = fps[9].zeroLike();
+    checkBatchInv(fps);
+    checkBatchInv(std::vector<Fp>(4, fps[0].zeroLike()));
+
+    // Tower levels run the generic Montgomery trick over their own
+    // mul/inv (the G2 twist-coordinate path).
+    std::vector<Fp2> f2;
+    for (int i = 0; i < 9; ++i)
+        f2.push_back(randFp2());
+    f2[4] = f2[4].zeroLike();
+    checkBatchInv(f2);
+
+    std::vector<Fp6> f6;
+    for (int i = 0; i < 5; ++i)
+        f6.push_back(randFp6());
+    checkBatchInv(f6);
+
+    std::vector<Fp12> f12;
+    for (int i = 0; i < 5; ++i)
+        f12.push_back(randFp12());
+    f12[0] = f12[0].zeroLike();
+    f12[4] = f12[4].zeroLike();
+    checkBatchInv(f12);
+}
+
 template <typename F>
 void
 checkFieldAxioms(const F &a, const F &b, const F &c)

@@ -231,6 +231,52 @@ TEST(MontKernel, InvNonCoprimeYieldsZero)
     EXPECT_TRUE(ctx.isZero(r));
 }
 
+TEST(MontKernel, BatchInvMatchesScalarInv)
+{
+    // Montgomery's trick must be BIT-identical to per-element inv():
+    // every intermediate is a fully-reduced residue and the reduced
+    // inverse is unique. Covers zeros in the batch (stay zero without
+    // poisoning the product chain), in-place aliasing, and the empty/
+    // singleton edges, across widths 2/4/6.
+    const BigInt primes[] = {
+        (BigInt(u64{1}) << 127) - BigInt(u64{1}),
+        BigInt::fromString("0x2523648240000001ba344d80000000086121000000"
+                           "000013a700000000000013"),
+        BigInt::fromString(
+            "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0"
+            "f6b0f6241eabfffeb153ffffb9feffffffffaaab"),
+    };
+    Rng rng(113);
+    for (const BigInt &p : primes) {
+        MontCtx ctx(p);
+        for (const size_t n : {size_t{0}, size_t{1}, size_t{2},
+                               size_t{17}}) {
+            std::vector<Residue> a(n);
+            for (size_t i = 0; i < n; ++i)
+                a[i] = ctx.toMont(BigInt::randomBelow(rng, p));
+            if (n >= 3) {
+                a[0] = Residue{};
+                a[n / 2] = Residue{};
+            }
+            std::vector<Residue> out(n);
+            ctx.batchInv(out.data(), a.data(), n);
+            for (size_t i = 0; i < n; ++i) {
+                Residue ref{};
+                ctx.inv(ref, a[i]);
+                EXPECT_EQ(out[i], ref) << "index " << i;
+            }
+            std::vector<Residue> alias = a;
+            ctx.batchInv(alias.data(), alias.data(), n);
+            EXPECT_EQ(alias, out);
+        }
+        std::vector<Residue> zeros(5);
+        std::vector<Residue> zout(5);
+        ctx.batchInv(zout.data(), zeros.data(), zeros.size());
+        for (const Residue &z : zout)
+            EXPECT_TRUE(ctx.isZero(z));
+    }
+}
+
 #if FINESSE_HAVE_X86_ADX
 TEST(MontKernel, AdxKernelMatchesGeneric)
 {

@@ -11,6 +11,8 @@
  *   simulate   compile, then cycle-accurate simulation
  *   area       compile, then area/timing report (1/4/8 cores)
  *   dse        exhaustive operator-variant search on the configured hw
+ *   dse-search seeded Pareto-frontier search over variants x hardware
+ *              (dse/search.h); deterministic for a fixed --search-seed
  *   dse-worker evaluate DSE groups from stdin, results to stdout (the
  *              wire protocol of dse/wire.h; spawned by the master)
  *   disasm     compile and print the binary head
@@ -37,19 +39,33 @@
  *                     `dse-worker --listen` peers; the token "local"
  *                     pins a local slot (config key `dse.hosts`;
  *                     default FINESSE_DSE_HOSTS env / all-local)
+ *   --search-seed=N   RNG seed of the `dse-search` loop (default 1);
+ *                     a fixed seed gives a bit-identical frontier for
+ *                     any --jobs/--dse-workers, cold or warm cache
+ *   --generations=N   `dse-search` generations (default 8)
+ *   --population=N    `dse-search` genomes per generation (default 32)
+ *   --objective=O     cycles | throughput | thpt-per-area | area
+ *                     (scalar winner of `dse-search`; default
+ *                     thpt-per-area)
+ *   --artifact-cache=DIR  enable the persistent artifact cache at DIR
+ *                     (also exported as FINESSE_ARTIFACT_CACHE so
+ *                     spawned dse workers share it)
  * The config file uses `key = value` lines (see core/options.h); when
  * omitted, defaults (BN254N, paper hardware model) apply.
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "dse/distributor.h"
 #include "dse/explorer.h"
+#include "dse/search.h"
 #include "core/options.h"
 #include "isa/progio.h"
 #include "sim/binary.h"
+#include "support/diskcache.h"
 #include "support/threadpool.h"
 
 using namespace finesse;
@@ -61,12 +77,15 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: finesse_cli "
-                 "{compile|validate|simulate|area|dse|dse-worker|disasm|"
-                 "deploy|exec} "
+                 "{compile|validate|simulate|area|dse|dse-search|"
+                 "dse-worker|disasm|deploy|exec} "
                  "[config-file] [--passes=<list>] [--pass-stats] "
                  "[--no-trace-cache] [--jobs=N] [--dse-workers=N] "
                  "[--dse-transport={pipe|loopback-tcp}] "
-                 "[--dse-hosts=host:port,...]\n");
+                 "[--dse-hosts=host:port,...] [--search-seed=N] "
+                 "[--generations=N] [--population=N] "
+                 "[--objective={cycles|throughput|thpt-per-area|area}] "
+                 "[--artifact-cache=DIR]\n");
     return 2;
 }
 
@@ -137,6 +156,12 @@ main(int argc, char **argv)
     std::string passList;
     std::string dseTransport;
     std::string dseHosts;
+    u64 searchSeed = 1;
+    int generations = 8;
+    int population = 32;
+    Objective objective = Objective::MaxThptPerArea;
+    bool haveArtifactCache = false;
+    std::string artifactCacheDir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--pass-stats") {
@@ -169,6 +194,47 @@ main(int argc, char **argv)
             }
         } else if (arg.rfind("--dse-hosts=", 0) == 0) {
             dseHosts = arg.substr(12);
+        } else if (arg.rfind("--search-seed=", 0) == 0) {
+            char *end = nullptr;
+            const std::string v = arg.substr(14);
+            searchSeed = std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0') {
+                std::fprintf(stderr, "bad --search-seed value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--generations=", 0) == 0) {
+            generations = parseCount(arg.substr(14));
+            if (generations <= 0) {
+                std::fprintf(stderr, "bad --generations value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--population=", 0) == 0) {
+            population = parseCount(arg.substr(13));
+            if (population <= 0) {
+                std::fprintf(stderr, "bad --population value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--objective=", 0) == 0) {
+            const std::string v = arg.substr(12);
+            if (v == "cycles") {
+                objective = Objective::MinCycles;
+            } else if (v == "throughput") {
+                objective = Objective::MaxThroughput;
+            } else if (v == "thpt-per-area") {
+                objective = Objective::MaxThptPerArea;
+            } else if (v == "area") {
+                objective = Objective::MinArea;
+            } else {
+                std::fprintf(stderr, "bad --objective value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--artifact-cache=", 0) == 0) {
+            haveArtifactCache = true;
+            artifactCacheDir = arg.substr(17);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return usage();
@@ -179,6 +245,16 @@ main(int argc, char **argv)
     if (positional.empty())
         return usage();
     const std::string command = positional[0];
+
+    if (haveArtifactCache) {
+        // Export before anything spawns so dse workers inherit it;
+        // an empty DIR explicitly disables the cache.
+        if (artifactCacheDir.empty())
+            unsetenv(kArtifactCacheEnv);
+        else
+            setenv(kArtifactCacheEnv, artifactCacheDir.c_str(), 1);
+        configureArtifactCache(artifactCacheDir);
+    }
 
     Config cfg;
     if (positional.size() > 1 && command != "exec") {
@@ -224,33 +300,34 @@ main(int argc, char **argv)
         std::printf("curve %s | hw %s\n", curve.c_str(),
                     opt.hw.describe().c_str());
 
+        DistributorStats dstats;
+        DistributorOptions dopts;
+        applyDistributorConfig(cfg, dopts);
+        if (dseTransport == "pipe")
+            dopts.transport = DseTransport::Pipe;
+        else if (dseTransport == "loopback-tcp")
+            dopts.transport = DseTransport::LoopbackTcp;
+        if (!dseHosts.empty()) {
+            dopts.hosts.clear();
+            size_t from = 0;
+            while (from <= dseHosts.size()) {
+                size_t comma = dseHosts.find(',', from);
+                if (comma == std::string::npos)
+                    comma = dseHosts.size();
+                if (comma > from)
+                    dopts.hosts.push_back(
+                        dseHosts.substr(from, comma - from));
+                from = comma + 1;
+            }
+        }
+        dopts.stats = &dstats;
+
         if (command == "dse") {
             Explorer ex(curve);
             // The sweep inherits the configured pipeline/cache options;
             // only the operator variants are explored, fanned out over
             // opt.jobs worker threads (identical result for any value).
             const auto t0 = std::chrono::steady_clock::now();
-            DistributorStats dstats;
-            DistributorOptions dopts;
-            applyDistributorConfig(cfg, dopts);
-            if (dseTransport == "pipe")
-                dopts.transport = DseTransport::Pipe;
-            else if (dseTransport == "loopback-tcp")
-                dopts.transport = DseTransport::LoopbackTcp;
-            if (!dseHosts.empty()) {
-                dopts.hosts.clear();
-                size_t from = 0;
-                while (from <= dseHosts.size()) {
-                    size_t comma = dseHosts.find(',', from);
-                    if (comma == std::string::npos)
-                        comma = dseHosts.size();
-                    if (comma > from)
-                        dopts.hosts.push_back(
-                            dseHosts.substr(from, comma - from));
-                    from = comma + 1;
-                }
-            }
-            dopts.stats = &dstats;
             const DsePoint best =
                 ex.exploreVariants(opt, Objective::MinCycles, true,
                                    dopts);
@@ -284,6 +361,72 @@ main(int argc, char **argv)
                 std::printf("  level %-2d mul=%s\n", d,
                             toString(best.variants.level(d).mul));
             }
+            return 0;
+        }
+
+        if (command == "dse-search") {
+            Explorer ex(curve);
+            SearchOptions sopt;
+            sopt.seed = searchSeed;
+            sopt.generations = generations;
+            sopt.population = population;
+            sopt.objective = objective;
+            sopt.base = opt;
+            sopt.dopts = dopts;
+            const auto t0 = std::chrono::steady_clock::now();
+            ParetoSearch search(ex, SearchSpace::standard(ex), sopt);
+            const SearchResult sres = search.run();
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const TraceCacheStats cache = traceCacheStats();
+            const DiskCache *dc = artifactCache();
+            std::printf("searched %zu unique points of a %llu-point "
+                        "space in %d generations, %.2f s\n",
+                        sres.stats.evaluatedUnique,
+                        static_cast<unsigned long long>(
+                            sres.stats.spaceSize),
+                        generations, seconds);
+            std::printf("trace cache: %zu miss, %zu hit "
+                        "(disk: %zu hit, %zu put)\n",
+                        cache.misses, cache.hits, cache.diskHits,
+                        cache.diskPuts);
+            if (dc != nullptr) {
+                std::printf("artifact cache %s: %zu point hits, "
+                            "%zu point puts\n",
+                            dc->dir().c_str(),
+                            sres.stats.pointCacheHits,
+                            sres.stats.pointCachePuts);
+            }
+            if (opt.dseWorkers > 0)
+                std::printf("distributor: %s\n",
+                            dstats.describe().c_str());
+            std::printf("Pareto frontier (%zu points, fingerprint "
+                        "%016llx):\n",
+                        sres.frontier.size(),
+                        static_cast<unsigned long long>(
+                            frontierFingerprint(sres.frontier)));
+            std::printf("  %-34s %10s %8s %12s %12s\n", "design",
+                        "cycles", "mm^2", "ops/s", "ops/s/mm^2");
+            for (const DsePoint &p : sres.frontier) {
+                std::printf("  %-34s %10lld %8.2f %12.1f %12.1f\n",
+                            p.label.c_str(),
+                            static_cast<long long>(p.cycles), p.areaMm2,
+                            p.throughputOps, p.thptPerArea);
+            }
+            const char *objName =
+                objective == Objective::MinCycles        ? "cycles"
+                : objective == Objective::MaxThroughput  ? "throughput"
+                : objective == Objective::MaxThptPerArea ? "thpt-per-area"
+                                                         : "area";
+            std::printf("best (%s): %s | %lld cycles | %.2f mm^2 | "
+                        "%.1f ops/s\n",
+                        objName, sres.best.label.c_str(),
+                        static_cast<long long>(sres.best.cycles),
+                        sres.best.areaMm2, sres.best.throughputOps);
+            if (passStats)
+                printPassStats(sres.best.opt);
             return 0;
         }
 
