@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Batched-serving throughput figure: random-linear-combination batch
+ * verification (serve/verify.h) versus one-at-a-time single
+ * verification, at batch size 16, across the three request kinds the
+ * serving engine accepts (BLS signatures, KZG openings, Groth16-style
+ * proofs).
+ *
+ * Why batching wins: a batch is ONE pairing product — one Miller
+ * schedule over the merged terms and one final exponentiation —
+ * instead of N products. With G2-base merging the Miller-loop count
+ * itself collapses: N BLS checks cost N+1 loops (not 2N), N KZG
+ * openings against one SRS cost 2 (not 2N), N Groth16 proofs under
+ * one vk cost N+3 (not 4N).
+ *
+ * Identity gate: every batched verdict is differential-checked
+ * against per-request single verification (clean streams AND a dirty
+ * stream with corrupted requests that the bisection fallback must
+ *isolate). Any mismatch — or a best batched speedup below the 2x
+ * acceptance bar — exits non-zero, so CI fails on correctness, not
+ * just on trend (tools/bench_check.py gates the `speedup` field
+ * against bench/baselines/BENCH_serve.json).
+ *
+ * FINESSE_FAST=1 restricts to BN254N; the full run adds BLS12-381.
+ */
+#include <chrono>
+
+#include "bench_common.h"
+#include "serve/engine.h"
+#include "serve/workload.h"
+
+using namespace finesse;
+
+namespace {
+
+constexpr int kBatch = 16;
+constexpr int kRequests = 32; // per kind, per curve
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct KindResult
+{
+    double singleSeconds = 0;
+    double batchedSeconds = 0;
+    size_t singlePairings = 0;
+    size_t batchedPairings = 0;
+    int mismatches = 0;
+
+    double
+    speedup() const
+    {
+        return batchedSeconds > 0 ? singleSeconds / batchedSeconds : 0;
+    }
+};
+
+/** Clean stream: time N singles vs ceil(N/16) RLC batches. */
+KindResult
+runKind(const CurveSystem12 &sys, WorkloadFactory &factory,
+        RequestKind kind)
+{
+    std::vector<PairingCheck> checks;
+    for (int i = 0; i < kRequests; ++i)
+        checks.push_back(
+            reduceToCheck(sys, factory.make(kind, false)));
+
+    KindResult res;
+
+    BatchVerifyStats singleStats;
+    std::vector<bool> singles;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const PairingCheck &c : checks)
+        singles.push_back(verifySingle(sys, c, &singleStats));
+    res.singleSeconds = seconds(t0);
+    res.singlePairings = singleStats.pairings;
+
+    BatchVerifyStats batchStats;
+    std::vector<bool> batched;
+    t0 = std::chrono::steady_clock::now();
+    for (size_t from = 0; from < checks.size(); from += kBatch) {
+        const std::vector<PairingCheck> chunk(
+            checks.begin() + from,
+            checks.begin() +
+                std::min(checks.size(), from + kBatch));
+        const auto verdicts =
+            verifyBatch(sys, chunk, 0x5e55e + from, &batchStats);
+        batched.insert(batched.end(), verdicts.begin(), verdicts.end());
+    }
+    res.batchedSeconds = seconds(t0);
+    res.batchedPairings = batchStats.pairings;
+
+    for (int i = 0; i < kRequests; ++i) {
+        // Clean stream: everything must accept, both ways.
+        if (!singles[i] || !batched[i])
+            res.mismatches++;
+    }
+    return res;
+}
+
+/** Dirty stream: corrupted requests must be isolated, not mask. */
+int
+runDirtyIdentity(const CurveSystem12 &sys, WorkloadFactory &factory)
+{
+    int mismatches = 0;
+    for (const RequestKind kind :
+         {RequestKind::Bls, RequestKind::Kzg, RequestKind::Zk}) {
+        std::vector<PairingCheck> checks;
+        std::vector<bool> expected;
+        for (int i = 0; i < kBatch; ++i) {
+            const bool bad = i == 4 || i == 11;
+            checks.push_back(
+                reduceToCheck(sys, factory.make(kind, bad)));
+            expected.push_back(!bad);
+        }
+        const auto batched = verifyBatch(sys, checks, 99);
+        for (int i = 0; i < kBatch; ++i) {
+            const bool single = verifySingle(sys, checks[i]);
+            if (batched[i] != expected[i] || single != expected[i])
+                mismatches++;
+        }
+    }
+    return mismatches;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fig_serve: batched verification throughput (batch 16)");
+
+    std::vector<std::string> curves = {"BN254N"};
+    if (!fastMode())
+        curves.push_back("BLS12-381");
+
+    BenchJson json;
+    json.str("bench", "fig_serve")
+        .str("mode", fastMode() ? "fast" : "full")
+        .count("curves", curves.size())
+        .count("batch", kBatch)
+        .count("requests_per_kind", kRequests);
+
+    TextTable table;
+    table.header({"curve", "kind", "single s", "batched s", "speedup",
+                  "miller single", "miller batched"});
+
+    int mismatches = 0;
+    // Gate metric: the mixed-stream aggregate per curve (the serving
+    // workload is all three kinds); per-kind ratios are advisory.
+    double gateSpeedup = 0;
+    for (const std::string &curve : curves) {
+        const auto &sys = curveSystem12(curve);
+        WorkloadFactory factory(sys, 0xf15); // one setup per curve
+        double curveSingle = 0, curveBatched = 0;
+        for (const RequestKind kind :
+             {RequestKind::Bls, RequestKind::Kzg, RequestKind::Zk}) {
+            const KindResult res = runKind(sys, factory, kind);
+            mismatches += res.mismatches;
+            curveSingle += res.singleSeconds;
+            curveBatched += res.batchedSeconds;
+            table.row({curve, toString(kind), fmt(res.singleSeconds, 3),
+                       fmt(res.batchedSeconds, 3),
+                       fmt(res.speedup(), 2) + "x",
+                       std::to_string(res.singlePairings),
+                       std::to_string(res.batchedPairings)});
+            const std::string prefix =
+                curve + "_" + toString(kind) + "_";
+            json.num(prefix + "single_seconds", res.singleSeconds)
+                .num(prefix + "batched_seconds", res.batchedSeconds)
+                .num(prefix + "speedup", res.speedup())
+                .count(prefix + "miller_single", res.singlePairings)
+                .count(prefix + "miller_batched", res.batchedPairings);
+        }
+        const double curveSpeedup =
+            curveBatched > 0 ? curveSingle / curveBatched : 0;
+        gateSpeedup = std::max(gateSpeedup, curveSpeedup);
+        table.row({curve, "ALL", fmt(curveSingle, 3),
+                   fmt(curveBatched, 3), fmt(curveSpeedup, 2) + "x", "",
+                   ""});
+        json.num(curve + "_mixed_speedup", curveSpeedup);
+        mismatches += runDirtyIdentity(sys, factory);
+    }
+    table.print();
+
+    // Served-throughput leg: the same requests through the actual
+    // engine (queue + lanes + linger), advisory numbers.
+    {
+        const auto &sys = curveSystem12(curves[0]);
+        WorkloadFactory factory(sys, 0xfee);
+        ServeOptions opt;
+        opt.batchSize = kBatch;
+        const auto t0 = std::chrono::steady_clock::now();
+        ServeEngine engine(sys, opt);
+        std::vector<std::future<Verdict>> futures;
+        for (int i = 0; i < kRequests; ++i)
+            futures.push_back(
+                engine.submit(factory.make(RequestKind::Bls, false))
+                    .verdict);
+        for (auto &f : futures)
+            if (f.get() != Verdict::Accept)
+                mismatches++;
+        engine.drain();
+        const double served = seconds(t0);
+        const ServeCounters c = engine.counters();
+        std::printf("\nserved %zu requests in %.3f s (%.1f rps, "
+                    "%zu batches, avg latency %.2f ms)\n",
+                    c.completed, served, double(c.completed) / served,
+                    c.batches, c.avgLatencyMs());
+        json.num("serve_rps", double(c.completed) / served)
+            .count("serve_batches", c.batches)
+            .num("serve_avg_latency_ms", c.avgLatencyMs());
+    }
+
+    json.num("speedup", gateSpeedup).count(
+        "identity_mismatches", static_cast<size_t>(mismatches));
+    json.write("BENCH_serve.json");
+
+    std::printf("\nmixed-stream batched speedup at batch %d: %.2fx "
+                "(acceptance bar 2x); identity mismatches: %d\n",
+                kBatch, gateSpeedup, mismatches);
+    if (mismatches > 0) {
+        std::fprintf(stderr, "FAIL: batched verdicts diverged\n");
+        return 1;
+    }
+    if (gateSpeedup < 2.0) {
+        std::fprintf(stderr, "FAIL: batched speedup below 2x\n");
+        return 1;
+    }
+    return 0;
+}

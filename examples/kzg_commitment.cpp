@@ -10,11 +10,18 @@
  *   open:    at z, witness pi = [q(tau)] g1 where
  *            q(X) = (f(X) - f(z)) / (X - z)
  *   verify:  e(C - [f(z)] g1, g2) == e(pi, [tau] g2 - [z] g2)
+ *
+ * Verification is routed through the batch serving engine
+ * (serve/verify.h): the honest opening and a tampered evaluation are
+ * KzgRequests, batch-verified as one random-linear-combination
+ * multi-pairing whose terms all merge onto the two constant G2 bases
+ * {g2, [tau]g2} — a whole batch of openings against one SRS costs
+ * exactly 2 Miller loops and one final exponentiation.
  */
 #include <cstdio>
 #include <vector>
 
-#include "pairing/cache.h"
+#include "serve/verify.h"
 
 using namespace finesse;
 
@@ -94,28 +101,34 @@ main()
     const Poly q = quotient(f, z, r);
     const auto pi = msm(q);
 
-    // ---- verify: e(C - [y]g1, g2) == e(pi, [tau]g2 - [z]g2) ---------------
-    const auto cMinusY = affineAdd(
-        sys.g1Curve(), C,
-        scalarMul(sys.g1Curve(), sys.g1Gen(), y).negate());
-    const auto tauMinusZ = affineAdd(
-        sys.twistCurve(), tauG2,
-        scalarMul(sys.twistCurve(), sys.g2Gen(), z).negate());
-    const bool ok =
-        sys.pair(cMinusY, sys.g2Gen()).equals(sys.pair(pi, tauMinusZ));
-    std::printf("open f(z) = y, verify: %s\n", ok ? "ACCEPT" : "REJECT");
+    // ---- verify through the serving engine ---------------------------------
+    // Honest opening and a tampered evaluation, batched: one RLC
+    // product over the shared G2 bases decides both.
+    KzgRequest honest;
+    honest.commitment = C;
+    honest.z = z;
+    honest.y = y;
+    honest.proof = pi;
+    honest.tauG2 = tauG2;
 
-    // ---- soundness: a wrong evaluation must fail --------------------------
-    const BigInt yBad = (y + BigInt(u64{1})).mod(r);
-    const auto cMinusBad = affineAdd(
-        sys.g1Curve(), C,
-        scalarMul(sys.g1Curve(), sys.g1Gen(), yBad).negate());
-    const bool bad =
-        sys.pair(cMinusBad, sys.g2Gen()).equals(sys.pair(pi, tauMinusZ));
+    KzgRequest forged = honest;
+    forged.y = (y + BigInt(u64{1})).mod(r);
+
+    BatchVerifyStats stats;
+    const std::vector<PairingCheck> checks = {
+        reduceToCheck(sys, honest), reduceToCheck(sys, forged)};
+    const std::vector<bool> verdicts = verifyBatch(sys, checks, 1, &stats);
+    const bool ok = verdicts[0];
+    const bool bad = verdicts[1];
+    std::printf("open f(z) = y, verify: %s\n", ok ? "ACCEPT" : "REJECT");
     std::printf("tampered evaluation: %s\n",
                 bad ? "ACCEPT (BUG!)" : "REJECT");
 
-    // The verifier workload is exactly 2 pairings -> see the compiled
-    // pairing program cost in bench/table6_comparison.
+    // The batched verifier workload stays 2 Miller loops no matter the
+    // batch size (both terms merge onto {g2, [tau]g2}); the bisection
+    // fallback here re-checks the halves, still on 2 bases each.
+    std::printf("batch stats: %zu products, %zu Miller loops, "
+                "%zu bisect splits\n",
+                stats.products, stats.pairings, stats.bisectSplits);
     return (ok && !bad) ? 0 : 1;
 }

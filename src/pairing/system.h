@@ -156,6 +156,30 @@ class CurveSystem
         return engine_->pair(p.x, p.y, q.x, q.y);
     }
 
+    /**
+     * Product of pairings prod_i e(P_i, Q_i) sharing one final
+     * exponentiation. Terms with a point at infinity contribute
+     * e(O, Q) = e(P, O) = 1 and are skipped; an all-infinity (or
+     * empty) product is the GT identity. This is the entry point of
+     * the batch-verification serving engine (src/serve/): one Miller
+     * schedule per finite term, one final exponentiation per product.
+     */
+    GtT
+    pairProduct(
+        const std::vector<std::pair<G1Affine, G2Affine>> &terms) const
+    {
+        std::vector<typename PairingEngine<TW>::PairInput> inputs;
+        inputs.reserve(terms.size());
+        for (const auto &[p, q] : terms) {
+            if (p.infinity || q.infinity)
+                continue;
+            inputs.push_back({p.x, p.y, q.x, q.y});
+        }
+        if (inputs.empty())
+            return GtT::one(tower_.gtCtx());
+        return engine_->pairProduct(inputs);
+    }
+
     /** GT exponentiation (plain square-and-multiply). */
     GtT
     gtPow(const GtT &g, const BigInt &e) const

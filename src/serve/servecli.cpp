@@ -1,0 +1,371 @@
+#include "serve/servecli.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/framework.h"
+#include "support/diskcache.h"
+#include "support/socket.h"
+
+namespace finesse {
+
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    size_t from = 0;
+    while (from <= text.size()) {
+        size_t at = text.find(sep, from);
+        if (at == std::string::npos)
+            at = text.size();
+        if (at > from)
+            out.push_back(text.substr(from, at - from));
+        from = at + 1;
+    }
+    return out;
+}
+
+std::set<int>
+parseIndexList(const std::string &list)
+{
+    std::set<int> out;
+    for (const std::string &tok : splitOn(list, ',')) {
+        size_t consumed = 0;
+        int idx = -1;
+        try {
+            idx = std::stoi(tok, &consumed);
+        } catch (...) {
+        }
+        FINESSE_REQUIRE(consumed == tok.size() && idx >= 0,
+                        "bad corrupt index: ", tok);
+        out.insert(idx);
+    }
+    return out;
+}
+
+/**
+ * One front-end compile before traffic: on a warm artifact cache the
+ * traces come off disk and `performed` is ZERO — the serving path
+ * then never pays a front-end trace at all.
+ */
+void
+printWarmup(const ServeCliOptions &opts, FILE *to)
+{
+    const TraceCacheStats before = traceCacheStats();
+    Framework fw(opts.curve);
+    const CompileResult res = fw.compile(opts.compile);
+    const TraceCacheStats after = traceCacheStats();
+    const DiskCache *dc = artifactCache();
+    std::fprintf(to,
+                 "warmup: compiled %zu instrs; traces performed=%zu "
+                 "(mem hits=%zu, disk hits=%zu, disk puts=%zu, "
+                 "artifact cache %s)\n",
+                 res.instrs(),
+                 after.tracesPerformed() - before.tracesPerformed(),
+                 after.hits - before.hits,
+                 after.diskHits - before.diskHits,
+                 after.diskPuts - before.diskPuts,
+                 dc ? dc->dir().c_str() : "off");
+}
+
+void
+printStats(FILE *to, const ServeCounters &c)
+{
+    std::fprintf(to,
+                 "stats submitted=%zu rejected_busy=%zu completed=%zu "
+                 "accepted=%zu rejected_invalid=%zu batches=%zu "
+                 "products=%zu pairings=%zu single_fallbacks=%zu "
+                 "bisect_splits=%zu avg_latency_ms=%.3f "
+                 "max_latency_ms=%.3f avg_batch_ms=%.3f\n",
+                 c.submitted, c.rejectedBusy, c.completed, c.accepted,
+                 c.rejectedInvalid, c.batches, c.products, c.pairings,
+                 c.singleFallbacks, c.bisectSplits, c.avgLatencyMs(),
+                 c.maxLatencyMs,
+                 c.batches ? c.totalBatchMs / double(c.batches) : 0.0);
+}
+
+/** Submit with client-side backoff: honor retry-after and resubmit. */
+Admission
+submitWithRetry(ServeEngine &engine, const VerifyRequest &req,
+                int *retries)
+{
+    for (;;) {
+        Admission adm = engine.submit(req);
+        if (adm.admitted)
+            return adm;
+        if (retries)
+            ++*retries;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(adm.retryAfterMs));
+    }
+}
+
+/** One `bls|kzg|zk N [corrupt=i,j]` command: submit, wait, report. */
+void
+runKindCommand(ServeEngine &engine, WorkloadFactory &factory,
+               RequestKind kind, std::istringstream &line, FILE *to)
+{
+    int n = 0;
+    line >> n;
+    if (n <= 0) {
+        std::fprintf(to, "err bad request count\n");
+        return;
+    }
+    std::set<int> corrupt;
+    std::string tail;
+    if (line >> tail) {
+        if (tail.rfind("corrupt=", 0) != 0) {
+            std::fprintf(to, "err bad argument: %s\n", tail.c_str());
+            return;
+        }
+        corrupt = parseIndexList(tail.substr(8));
+    }
+    int retries = 0;
+    std::vector<std::future<Verdict>> futures;
+    futures.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        futures.push_back(
+            submitWithRetry(engine,
+                            factory.make(kind, corrupt.count(i) > 0),
+                            &retries)
+                .verdict);
+    }
+    std::string verdicts;
+    size_t accepted = 0;
+    for (auto &f : futures) {
+        const bool ok = f.get() == Verdict::Accept;
+        accepted += ok;
+        verdicts += ok ? '1' : '0';
+    }
+    std::fprintf(to,
+                 "ok kind=%s n=%d accepted=%zu rejected=%zu retries=%d "
+                 "verdicts=%s\n",
+                 toString(kind), n, accepted,
+                 static_cast<size_t>(n) - accepted, retries,
+                 verdicts.c_str());
+}
+
+/** `flood <kind> N`: no waiting, no backoff — show the bounces. */
+void
+runFloodCommand(ServeEngine &engine, WorkloadFactory &factory,
+                std::istringstream &line, FILE *to)
+{
+    std::string kindName;
+    int n = 0;
+    line >> kindName >> n;
+    if (kindName.empty() || n <= 0) {
+        std::fprintf(to, "err usage: flood <bls|kzg|zk> N\n");
+        return;
+    }
+    const RequestKind kind = parseRequestKind(kindName);
+    int admitted = 0, bounced = 0, lastRetryMs = 0;
+    for (int i = 0; i < n; ++i) {
+        Admission adm = engine.submit(factory.make(kind, false));
+        if (adm.admitted) {
+            admitted++; // future dropped: verdict still computed
+        } else {
+            bounced++;
+            lastRetryMs = adm.retryAfterMs;
+        }
+    }
+    std::fprintf(to,
+                 "flood kind=%s n=%d admitted=%d bounced=%d "
+                 "retry_after_ms=%d\n",
+                 toString(kind), n, admitted, bounced, lastRetryMs);
+}
+
+void
+commandLoop(ServeEngine &engine, WorkloadFactory &factory, FILE *in,
+            FILE *to)
+{
+    char *lineBuf = nullptr;
+    size_t lineCap = 0;
+    while (getline(&lineBuf, &lineCap, in) >= 0) {
+        std::istringstream line{std::string(lineBuf)};
+        std::string cmd;
+        if (!(line >> cmd) || cmd[0] == '#')
+            continue;
+        try {
+            if (cmd == "bls" || cmd == "kzg" || cmd == "zk") {
+                runKindCommand(engine, factory, parseRequestKind(cmd),
+                               line, to);
+            } else if (cmd == "flood") {
+                runFloodCommand(engine, factory, line, to);
+            } else if (cmd == "stats") {
+                printStats(to, engine.counters());
+            } else if (cmd == "drain") {
+                engine.drain();
+                std::fprintf(to, "drained completed=%zu\n",
+                             engine.counters().completed);
+            } else if (cmd == "quit") {
+                break;
+            } else {
+                std::fprintf(to, "err unknown command: %s\n",
+                             cmd.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(to, "err %s\n", e.what());
+        }
+        std::fflush(to);
+    }
+    free(lineBuf);
+}
+
+} // namespace
+
+std::vector<std::pair<RequestKind, int>>
+parseWorkloadSpec(const std::string &spec)
+{
+    std::vector<std::pair<RequestKind, int>> out;
+    for (const std::string &tok : splitOn(spec, ',')) {
+        const size_t colon = tok.find(':');
+        FINESSE_REQUIRE(colon != std::string::npos,
+                        "bad workload token (want kind:count): ", tok);
+        const RequestKind kind = parseRequestKind(tok.substr(0, colon));
+        const std::string countStr = tok.substr(colon + 1);
+        size_t consumed = 0;
+        int count = -1;
+        try {
+            count = std::stoi(countStr, &consumed);
+        } catch (...) {
+        }
+        FINESSE_REQUIRE(consumed == countStr.size() && count > 0,
+                        "bad workload count: ", tok);
+        out.emplace_back(kind, count);
+    }
+    FINESSE_REQUIRE(!out.empty(), "empty workload spec");
+    return out;
+}
+
+int
+runServeCommand(const ServeCliOptions &opts)
+{
+    printWarmup(opts, stdout);
+    const CurveSystem12 &sys = curveSystem12(opts.curve);
+    ServeEngine engine(sys, opts.engine);
+    WorkloadFactory factory(sys, opts.engine.seed);
+    std::printf("serve ready curve=%s batch=%d queue=%d jobs=%d "
+                "linger_ms=%d\n",
+                opts.curve.c_str(), opts.engine.batchSize,
+                opts.engine.maxQueue, engine.lanes(),
+                opts.engine.lingerMs);
+    std::fflush(stdout);
+
+    FILE *in = stdin, *to = stdout;
+    FILE *sockIn = nullptr, *sockOut = nullptr;
+    int listenFd = -1;
+    if (opts.servePort >= 0) {
+        std::string err;
+        int boundPort = 0;
+        listenFd = tcpListen(HostPort{"127.0.0.1", opts.servePort}, 1,
+                             &err, &boundPort);
+        if (listenFd < 0) {
+            std::fprintf(stderr, "serve: %s\n", err.c_str());
+            return 1;
+        }
+        // Banner = port-discovery contract, as with dse-worker.
+        std::printf("serve listening host=127.0.0.1 port=%d\n",
+                    boundPort);
+        std::fflush(stdout);
+        const int fd = tcpAccept(listenFd, -1, &err);
+        if (fd < 0) {
+            std::fprintf(stderr, "serve: accept: %s\n", err.c_str());
+            ::close(listenFd);
+            return 1;
+        }
+        // Two streams over the one socket: mixing reads and writes on
+        // a single "r+" stream without repositioning is UB.
+        sockIn = fdopen(fd, "r");
+        sockOut = fdopen(dup(fd), "w");
+        FINESSE_CHECK(sockIn != nullptr && sockOut != nullptr,
+                      "fdopen on accepted socket");
+        in = sockIn;
+        to = sockOut;
+    }
+
+    commandLoop(engine, factory, in, to);
+    engine.drain();
+    printStats(to, engine.counters());
+    std::fflush(to);
+    if (sockIn)
+        std::fclose(sockIn);
+    if (sockOut)
+        std::fclose(sockOut);
+    if (listenFd >= 0)
+        ::close(listenFd);
+    if (to != stdout) // mirror the final snapshot for the operator log
+        printStats(stdout, engine.counters());
+    std::printf("serve exit\n");
+    return 0;
+}
+
+int
+runVerifyBatchCommand(const ServeCliOptions &opts)
+{
+    const CurveSystem12 &sys = curveSystem12(opts.curve);
+    const auto mix = parseWorkloadSpec(opts.workload);
+    const std::set<int> corrupt =
+        opts.corrupt.empty() ? std::set<int>{}
+                             : parseIndexList(opts.corrupt);
+
+    WorkloadFactory factory(sys, opts.engine.seed);
+    std::vector<VerifyRequest> requests;
+    std::vector<RequestKind> kinds;
+    for (const auto &[kind, count] : mix) {
+        for (int i = 0; i < count; ++i) {
+            const int global = static_cast<int>(requests.size());
+            requests.push_back(
+                factory.make(kind, corrupt.count(global) > 0));
+            kinds.push_back(kind);
+        }
+    }
+    for (const int idx : corrupt) {
+        FINESSE_REQUIRE(idx < static_cast<int>(requests.size()),
+                        "--corrupt index ", idx, " out of range (n=",
+                        requests.size(), ")");
+    }
+
+    // Reference verdicts: per-request single verification.
+    std::vector<bool> single;
+    for (const VerifyRequest &req : requests)
+        single.push_back(verifySingle(sys, reduceToCheck(sys, req)));
+
+    ServeEngine engine(sys, opts.engine);
+    std::vector<std::future<Verdict>> futures;
+    for (const VerifyRequest &req : requests)
+        futures.push_back(
+            submitWithRetry(engine, req, nullptr).verdict);
+
+    int mismatches = 0;
+    size_t accepted = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const bool engineOk = futures[i].get() == Verdict::Accept;
+        const bool expected = corrupt.count(static_cast<int>(i)) == 0;
+        accepted += engineOk;
+        if (engineOk != single[i] || engineOk != expected) {
+            mismatches++;
+            std::fprintf(stderr,
+                         "MISMATCH #%zu kind=%s engine=%s single=%s "
+                         "expected=%s\n",
+                         i, toString(kinds[i]),
+                         engineOk ? "accept" : "reject",
+                         single[i] ? "accept" : "reject",
+                         expected ? "accept" : "reject");
+        }
+    }
+    engine.drain();
+    printStats(stdout, engine.counters());
+    std::printf("verify-batch %s n=%zu accepted=%zu rejected=%zu "
+                "corrupted=%zu\n",
+                mismatches ? "MISMATCH" : "OK", requests.size(),
+                accepted, requests.size() - accepted, corrupt.size());
+    return mismatches ? 1 : 0;
+}
+
+} // namespace finesse

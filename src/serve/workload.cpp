@@ -1,0 +1,124 @@
+#include "serve/workload.h"
+
+namespace finesse {
+
+RequestKind
+parseRequestKind(const std::string &name)
+{
+    if (name == "bls")
+        return RequestKind::Bls;
+    if (name == "kzg")
+        return RequestKind::Kzg;
+    FINESSE_REQUIRE(name == "zk", "bad request kind: ", name,
+                    " (want bls|kzg|zk)");
+    return RequestKind::Zk;
+}
+
+const char *
+toString(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Bls:
+        return "bls";
+      case RequestKind::Kzg:
+        return "kzg";
+      case RequestKind::Zk:
+        return "zk";
+    }
+    return "?";
+}
+
+WorkloadFactory::WorkloadFactory(const CurveSystem12 &sys, u64 seed)
+    : sys_(sys), rng_(seed)
+{}
+
+BigInt
+WorkloadFactory::randScalar()
+{
+    return BigInt::randomBelow(rng_, sys_.info().r - BigInt(u64{1})) +
+           BigInt(u64{1});
+}
+
+void
+WorkloadFactory::ensureSetup()
+{
+    if (setupDone_)
+        return;
+    setupDone_ = true;
+    // KZG SRS tail: [tau] g2.
+    tau_ = randScalar();
+    tauG2_ = scalarMul(sys_.twistCurve(), sys_.g2Gen(), tau_);
+    // Groth16-style verification key.
+    vkAlpha_ = randScalar();
+    vkBeta_ = randScalar();
+    vkGamma_ = randScalar();
+    vkDelta_ = randScalar();
+    vkAlphaG1_ = scalarMul(sys_.g1Curve(), sys_.g1Gen(), vkAlpha_);
+    vkBetaG2_ = scalarMul(sys_.twistCurve(), sys_.g2Gen(), vkBeta_);
+    vkGammaG2_ = scalarMul(sys_.twistCurve(), sys_.g2Gen(), vkGamma_);
+    vkDeltaG2_ = scalarMul(sys_.twistCurve(), sys_.g2Gen(), vkDelta_);
+}
+
+VerifyRequest
+WorkloadFactory::make(RequestKind kind, bool corrupt)
+{
+    ensureSetup();
+    const CurveCtx<Fp> &g1c = sys_.g1Curve();
+    const CurveCtx<Fp2> &g2c = sys_.twistCurve();
+    const BigInt &r = sys_.info().r;
+
+    switch (kind) {
+      case RequestKind::Bls: {
+        BlsRequest req;
+        const BigInt sk = randScalar();
+        req.msgHash = sys_.randomG1(rng_);
+        req.publicKey = scalarMul(g2c, sys_.g2Gen(), sk);
+        req.signature = scalarMul(g1c, req.msgHash, sk);
+        if (corrupt)
+            req.signature = affineAdd(g1c, req.signature, sys_.g1Gen());
+        return req;
+      }
+      case RequestKind::Kzg: {
+        // Synthetic-but-consistent opening built in the exponent:
+        // pick q(tau) and z, set pi = [q(tau)] g1 and
+        // C = [q(tau)(tau - z) + y] g1, which satisfies
+        // e(C - [y]g1, g2) == e(pi, [tau]g2 - [z]g2) identically.
+        KzgRequest req;
+        const BigInt qTau = randScalar();
+        req.z = randScalar();
+        req.y = randScalar();
+        const BigInt fTau =
+            (qTau * (tau_ - req.z) + req.y).mod(r);
+        req.commitment = scalarMul(g1c, sys_.g1Gen(), fTau);
+        req.proof = scalarMul(g1c, sys_.g1Gen(), qTau);
+        req.tauG2 = tauG2_;
+        if (corrupt)
+            req.y = (req.y + BigInt(u64{1})).mod(r);
+        return req;
+      }
+      case RequestKind::Zk: {
+        // Pick a, b, l; solve c so that
+        // a b = alpha beta + l gamma + c delta (mod r).
+        ZkRequest req;
+        const BigInt a = randScalar(), b = randScalar(),
+                     l = randScalar();
+        BigInt c = ((a * b - vkAlpha_ * vkBeta_ - l * vkGamma_).mod(r) *
+                    vkDelta_.invMod(r))
+                       .mod(r);
+        if (corrupt)
+            c = (c + BigInt(u64{1})).mod(r);
+        req.proofA = scalarMul(g1c, sys_.g1Gen(), a);
+        req.proofB = scalarMul(g2c, sys_.g2Gen(), b);
+        req.inputL = scalarMul(g1c, sys_.g1Gen(), l);
+        req.proofC = scalarMul(g1c, sys_.g1Gen(), c);
+        req.alphaG1 = vkAlphaG1_;
+        req.betaG2 = vkBetaG2_;
+        req.gammaG2 = vkGammaG2_;
+        req.deltaG2 = vkDeltaG2_;
+        return req;
+      }
+    }
+    panic("bad RequestKind");
+}
+
+} // namespace finesse

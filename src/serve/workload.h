@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic synthetic verification workloads for the serving
+ * engine: valid-by-construction BLS / KZG / Groth16-style requests
+ * with optional corruption, all drawn from one seeded Rng. Used by
+ * `finesse_cli serve` / `verify-batch` (the operator-driveable
+ * stream), bench/fig_serve and tests — real deployments construct
+ * requests from real scheme data instead (see examples/).
+ *
+ * The factory fixes its long-lived material once per instance (the
+ * KZG trusted-setup scalar tau, the Groth16 verification key), so
+ * requests of one kind share G2 bases exactly like production
+ * traffic against one SRS / one circuit — which is what makes the
+ * engine's G2-base merging representative.
+ */
+#ifndef FINESSE_SERVE_WORKLOAD_H_
+#define FINESSE_SERVE_WORKLOAD_H_
+
+#include "serve/verify.h"
+
+namespace finesse {
+
+enum class RequestKind
+{
+    Bls,
+    Kzg,
+    Zk,
+};
+
+/** Parse "bls" / "kzg" / "zk"; throws FatalError otherwise. */
+RequestKind parseRequestKind(const std::string &name);
+const char *toString(RequestKind kind);
+
+class WorkloadFactory
+{
+  public:
+    WorkloadFactory(const CurveSystem12 &sys, u64 seed);
+
+    /**
+     * Next request of @p kind. A corrupted request tampers exactly
+     * one component (BLS: the signature, KZG: the claimed
+     * evaluation, zk: proof C) and must verify as Reject.
+     */
+    VerifyRequest make(RequestKind kind, bool corrupt);
+
+    const CurveSystem12 &system() const { return sys_; }
+
+  private:
+    BigInt randScalar();
+
+    const CurveSystem12 &sys_;
+    Rng rng_;
+    // Per-factory trusted setup (lazily derived from the Rng stream).
+    bool setupDone_ = false;
+    BigInt tau_;
+    AffinePt<Fp2> tauG2_;
+    AffinePt<Fp> vkAlphaG1_;
+    AffinePt<Fp2> vkBetaG2_, vkGammaG2_, vkDeltaG2_;
+    BigInt vkAlpha_, vkBeta_, vkGamma_, vkDelta_;
+
+    void ensureSetup();
+};
+
+} // namespace finesse
+
+#endif // FINESSE_SERVE_WORKLOAD_H_

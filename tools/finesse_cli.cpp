@@ -3,55 +3,14 @@
  * finesse-cli: command-line front end of the framework (the paper's
  * "modular invocation with command-line parameters").
  *
- * Usage:
- *   finesse_cli <command> [config-file] [flags]
- * Commands:
- *   compile    trace + optimize + schedule + encode; print statistics
- *   validate   compile, then cross-validate on the functional simulator
- *   simulate   compile, then cycle-accurate simulation
- *   area       compile, then area/timing report (1/4/8 cores)
- *   dse        exhaustive operator-variant search on the configured hw
- *   dse-search seeded Pareto-frontier search over variants x hardware
- *              (dse/search.h); deterministic for a fixed --search-seed
- *   dse-worker evaluate DSE groups from stdin, results to stdout (the
- *              wire protocol of dse/wire.h; spawned by the master)
- *   disasm     compile and print the binary head
- *   deploy     compile and save a program image:
- *                finesse_cli deploy <config> <image-file>
- *   exec       execute a saved image on hex inputs:
- *                finesse_cli exec <image-file> 0x12 0x34 ...
- * Flags:
- *   --passes=<list>   comma-separated pass pipeline (pipeline ablation):
- *                     front-end subset of constfold,zerooneprop,
- *                     strengthreduce,gvn,dce and/or backend subset of
- *                     bankalloc,packsched,regalloc,encode
- *   --pass-stats      print the per-pass instruction/time attribution
- *   --no-trace-cache  disable the front-end trace cache
- *   --jobs=N          sweep worker threads for `dse` (0 = hardware
- *                     concurrency, 1 = serial; config key `jobs`)
- *   --dse-workers=N   run the `dse` sweep on N worker subprocesses
- *                     (multi-process fan-out; config key `dse_workers`;
- *                     0 = in-process on --jobs threads)
- *   --dse-transport=T pipe | loopback-tcp: transport for locally
- *                     spawned workers (config key `dse.transport`;
- *                     default FINESSE_DSE_TRANSPORT env / pipe)
- *   --dse-hosts=H     comma-separated host:port pool of running
- *                     `dse-worker --listen` peers; the token "local"
- *                     pins a local slot (config key `dse.hosts`;
- *                     default FINESSE_DSE_HOSTS env / all-local)
- *   --search-seed=N   RNG seed of the `dse-search` loop (default 1);
- *                     a fixed seed gives a bit-identical frontier for
- *                     any --jobs/--dse-workers, cold or warm cache
- *   --generations=N   `dse-search` generations (default 8)
- *   --population=N    `dse-search` genomes per generation (default 32)
- *   --objective=O     cycles | throughput | thpt-per-area | area
- *                     (scalar winner of `dse-search`; default
- *                     thpt-per-area)
- *   --artifact-cache=DIR  enable the persistent artifact cache at DIR
- *                     (also exported as FINESSE_ARTIFACT_CACHE so
- *                     spawned dse workers share it)
- * The config file uses `key = value` lines (see core/options.h); when
- * omitted, defaults (BN254N, paper hardware model) apply.
+ * Usage: finesse_cli <command> [config-file] [flags]
+ *
+ * Every command and flag is documented in core/cliusage.h — the one
+ * table `--help` renders and tests/test_cli_help.cpp audits (a flag
+ * parsed here but missing there fails the build's test suite, so the
+ * help can't drift). The config file uses `key = value` lines (see
+ * core/options.h); when omitted, defaults (BN254N, paper hardware
+ * model) apply.
  */
 #include <chrono>
 #include <cstdio>
@@ -62,8 +21,10 @@
 #include "dse/distributor.h"
 #include "dse/explorer.h"
 #include "dse/search.h"
+#include "core/cliusage.h"
 #include "core/options.h"
 #include "isa/progio.h"
+#include "serve/servecli.h"
 #include "sim/binary.h"
 #include "support/diskcache.h"
 #include "support/threadpool.h"
@@ -75,17 +36,7 @@ namespace {
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: finesse_cli "
-                 "{compile|validate|simulate|area|dse|dse-search|"
-                 "dse-worker|disasm|deploy|exec} "
-                 "[config-file] [--passes=<list>] [--pass-stats] "
-                 "[--no-trace-cache] [--jobs=N] [--dse-workers=N] "
-                 "[--dse-transport={pipe|loopback-tcp}] "
-                 "[--dse-hosts=host:port,...] [--search-seed=N] "
-                 "[--generations=N] [--population=N] "
-                 "[--objective={cycles|throughput|thpt-per-area|area}] "
-                 "[--artifact-cache=DIR]\n");
+    std::fputs(cliUsageText().c_str(), stderr);
     return 2;
 }
 
@@ -162,8 +113,13 @@ main(int argc, char **argv)
     Objective objective = Objective::MaxThptPerArea;
     bool haveArtifactCache = false;
     std::string artifactCacheDir;
+    ServeCliOptions serveOpts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--help" || arg == "help") {
+            std::fputs(cliUsageText().c_str(), stdout);
+            return 0;
+        }
         if (arg == "--pass-stats") {
             passStats = true;
         } else if (arg == "--no-trace-cache") {
@@ -235,6 +191,47 @@ main(int argc, char **argv)
         } else if (arg.rfind("--artifact-cache=", 0) == 0) {
             haveArtifactCache = true;
             artifactCacheDir = arg.substr(17);
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            serveOpts.engine.batchSize = parseCount(arg.substr(8));
+            if (serveOpts.engine.batchSize <= 0) {
+                std::fprintf(stderr, "bad --batch value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--queue=", 0) == 0) {
+            serveOpts.engine.maxQueue = parseCount(arg.substr(8));
+            if (serveOpts.engine.maxQueue <= 0) {
+                std::fprintf(stderr, "bad --queue value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--linger-ms=", 0) == 0) {
+            serveOpts.engine.lingerMs = parseCount(arg.substr(12));
+            if (serveOpts.engine.lingerMs < 0) {
+                std::fprintf(stderr, "bad --linger-ms value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--serve-port=", 0) == 0) {
+            serveOpts.servePort = parseCount(arg.substr(13));
+            if (serveOpts.servePort < 0 || serveOpts.servePort > 65535) {
+                std::fprintf(stderr, "bad --serve-port value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--serve-seed=", 0) == 0) {
+            char *end = nullptr;
+            const std::string v = arg.substr(13);
+            serveOpts.engine.seed = std::strtoull(v.c_str(), &end, 0);
+            if (v.empty() || end == nullptr || *end != '\0') {
+                std::fprintf(stderr, "bad --serve-seed value: %s\n",
+                             arg.c_str());
+                return usage();
+            }
+        } else if (arg.rfind("--workload=", 0) == 0) {
+            serveOpts.workload = arg.substr(11);
+        } else if (arg.rfind("--corrupt=", 0) == 0) {
+            serveOpts.corrupt = arg.substr(10);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return usage();
@@ -299,6 +296,16 @@ main(int argc, char **argv)
         Framework fw(curve);
         std::printf("curve %s | hw %s\n", curve.c_str(),
                     opt.hw.describe().c_str());
+
+        if (command == "serve" || command == "verify-batch") {
+            serveOpts.curve = curve;
+            serveOpts.compile = opt; // warmup compiles what dse would
+            if (jobs >= 0)
+                serveOpts.engine.jobs = jobs;
+            return command == "serve"
+                       ? runServeCommand(serveOpts)
+                       : runVerifyBatchCommand(serveOpts);
+        }
 
         DistributorStats dstats;
         DistributorOptions dopts;
